@@ -1,0 +1,284 @@
+package pochoir_test
+
+// Benchmark harness: one benchmark family per table/figure of the paper's
+// evaluation. Workloads are sized so `go test -bench=. -benchmem` finishes
+// in minutes; cmd/experiments runs the larger scaled workloads and prints
+// paper-style rows. The custom metric Mpts/s is millions of grid-point
+// updates per second, the stencil-throughput unit behind the paper's
+// GStencil/s numbers.
+
+import (
+	"testing"
+
+	"pochoir"
+	"pochoir/internal/cachesim"
+	"pochoir/internal/cilkview"
+	"pochoir/internal/core"
+	"pochoir/internal/shape"
+	"pochoir/internal/stencils"
+)
+
+// benchJob times the Compute phase of a stencil job.
+func benchJob(b *testing.B, mk func() stencils.Job, updatesPerRun float64) {
+	b.Helper()
+	b.ReportAllocs()
+	jobs := make([]stencils.Job, b.N)
+	for i := range jobs {
+		jobs[i] = mk()
+		jobs[i].Setup()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jobs[i].Compute()
+	}
+	b.StopTimer()
+	b.ReportMetric(updatesPerRun*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpts/s")
+}
+
+// benchWorkloads are the per-benchmark sizes used by the Fig. 3 benches.
+var benchWorkloads = map[string]struct {
+	sizes []int
+	steps int
+}{
+	"Heat 2":      {[]int{512, 512}, 32},
+	"Heat 2p":     {[]int{512, 512}, 32},
+	"Heat 4":      {[]int{16, 16, 16, 16}, 8},
+	"Life 2p":     {[]int{512, 512}, 32},
+	"Wave 3":      {[]int{64, 64, 64}, 16},
+	"LBM 3":       {[]int{24, 24, 28}, 12},
+	"RNA 2":       {[]int{96, 96}, 96},
+	"PSA 1":       {[]int{4001}, 8200},
+	"LCS 1":       {[]int{4001}, 8200},
+	"APOP":        {[]int{100000}, 200},
+	"3D 7-point":  {[]int{64, 64, 64}, 16},
+	"3D 27-point": {[]int{64, 64, 64}, 16},
+}
+
+func benchInstance(b *testing.B, name string) func() stencils.Instance {
+	b.Helper()
+	f, ok := stencils.Lookup(name)
+	if !ok {
+		b.Fatalf("unknown benchmark %q", name)
+	}
+	w := benchWorkloads[name]
+	return func() stencils.Instance { return f.New(w.sizes, w.steps) }
+}
+
+func updates(inst stencils.Instance) float64 {
+	return float64(inst.Points()) * float64(inst.Steps())
+}
+
+// BenchmarkIntroHeat reproduces the §1 headline comparison.
+func BenchmarkIntroHeat(b *testing.B) {
+	mk := benchInstance(b, "Heat 2p")
+	up := updates(mk())
+	b.Run("Loops", func(b *testing.B) {
+		benchJob(b, func() stencils.Job { return mk().LoopsParallel() }, up)
+	})
+	b.Run("Pochoir", func(b *testing.B) {
+		benchJob(b, func() stencils.Job { return mk().Pochoir(pochoir.Options{}) }, up)
+	})
+}
+
+// BenchmarkFig3 regenerates the Fig. 3 table: every benchmark under the
+// four execution regimes of the paper's columns.
+func BenchmarkFig3(b *testing.B) {
+	for _, f := range stencils.All() {
+		if f.Order > 10 {
+			continue
+		}
+		name := f.Name
+		mk := benchInstance(b, name)
+		up := updates(mk())
+		b.Run(name+"/Pochoir1core", func(b *testing.B) {
+			benchJob(b, func() stencils.Job { return mk().Pochoir(pochoir.Options{Serial: true}) }, up)
+		})
+		b.Run(name+"/PochoirNcore", func(b *testing.B) {
+			benchJob(b, func() stencils.Job { return mk().Pochoir(pochoir.Options{}) }, up)
+		})
+		b.Run(name+"/SerialLoops", func(b *testing.B) {
+			benchJob(b, func() stencils.Job { return mk().LoopsSerial() }, up)
+		})
+		b.Run(name+"/ParallelLoops", func(b *testing.B) {
+			benchJob(b, func() stencils.Job { return mk().LoopsParallel() }, up)
+		})
+	}
+}
+
+// BenchmarkFig5 regenerates Fig. 5: the Berkeley 7-point and 27-point
+// kernels; Mpts/s here corresponds to the paper's GStencil/s column.
+func BenchmarkFig5(b *testing.B) {
+	for _, name := range []string{"3D 7-point", "3D 27-point"} {
+		mk := benchInstance(b, name)
+		up := updates(mk())
+		b.Run(name, func(b *testing.B) {
+			benchJob(b, func() stencils.Job { return mk().Pochoir(pochoir.Options{}) }, up)
+		})
+	}
+}
+
+// BenchmarkFig9 regenerates Fig. 9: the work/span analysis of TRAP vs
+// STRAP (the analyzer itself is what is being timed; its Parallelism
+// output is reported as a metric).
+func BenchmarkFig9(b *testing.B) {
+	cases := []struct {
+		name  string
+		dims  int
+		n     int
+		steps int
+		alg   core.Algorithm
+	}{
+		{"2DHeat/TRAP", 2, 800, 1000, core.TRAP},
+		{"2DHeat/STRAP", 2, 800, 1000, core.STRAP},
+		{"3DWave/TRAP", 3, 200, 1000, core.TRAP},
+		{"3DWave/STRAP", 3, 200, 1000, core.STRAP},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var par float64
+			for i := 0; i < b.N; i++ {
+				a := cilkview.New(cilkview.Config(c.dims, c.n, 1, false, c.alg), cilkview.DefaultCosts())
+				par = a.Analyze(1, 1+c.steps).Parallelism()
+			}
+			b.ReportMetric(par, "parallelism")
+		})
+	}
+}
+
+// BenchmarkFig10 regenerates Fig. 10: cache-trace simulation of the three
+// execution orders; the miss ratio is reported as a metric.
+func BenchmarkFig10(b *testing.B) {
+	heat := shape.MustNew(2, [][]int{
+		{1, 0, 0}, {0, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, -1}, {0, 0, 1},
+	})
+	const n, steps, m, bl = 128, 32, 4096, 8
+	b.Run("TRAP", func(b *testing.B) {
+		var ratio float64
+		for i := 0; i < b.N; i++ {
+			w := cilkview.Config(2, n, 1, false, core.TRAP)
+			tr := cachesim.NewTracer(cachesim.New(m, bl), heat, []int{n, n})
+			r, err := cachesim.TraceWalker(w, tr, steps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ratio = r
+		}
+		b.ReportMetric(ratio, "miss-ratio")
+	})
+	b.Run("STRAP", func(b *testing.B) {
+		var ratio float64
+		for i := 0; i < b.N; i++ {
+			w := cilkview.Config(2, n, 1, false, core.STRAP)
+			tr := cachesim.NewTracer(cachesim.New(m, bl), heat, []int{n, n})
+			r, err := cachesim.TraceWalker(w, tr, steps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ratio = r
+		}
+		b.ReportMetric(ratio, "miss-ratio")
+	})
+	b.Run("Loops", func(b *testing.B) {
+		var ratio float64
+		for i := 0; i < b.N; i++ {
+			tr := cachesim.NewTracer(cachesim.New(m, bl), heat, []int{n, n})
+			ratio = cachesim.TraceLoops(tr, steps)
+		}
+		b.ReportMetric(ratio, "miss-ratio")
+	})
+}
+
+// fig13Instance narrows a Heat 2p instance to the macro-shadow runner.
+type fig13Instance interface {
+	stencils.Instance
+	PochoirMacroShadow(pochoir.Options) stencils.Job
+}
+
+// BenchmarkFig13 regenerates Fig. 13: the two loop-indexing styles.
+func BenchmarkFig13(b *testing.B) {
+	f := stencils.NewHeat2DFactory(true)
+	mk := func() fig13Instance { return f.New([]int{512, 512}, 32).(fig13Instance) }
+	up := updates(mk())
+	b.Run("SplitPointer", func(b *testing.B) {
+		benchJob(b, func() stencils.Job { return mk().Pochoir(pochoir.Options{}) }, up)
+	})
+	b.Run("SplitMacroShadow", func(b *testing.B) {
+		benchJob(b, func() stencils.Job { return mk().PochoirMacroShadow(pochoir.Options{}) }, up)
+	})
+}
+
+// modInstance narrows a Heat 2p instance to the no-interior ablation.
+type modInstance interface {
+	stencils.Instance
+	PochoirNoInterior(pochoir.Options) stencils.Job
+}
+
+// BenchmarkModuloIndexing regenerates the §4 modular-indexing ablation.
+func BenchmarkModuloIndexing(b *testing.B) {
+	f := stencils.NewHeat2DFactory(true)
+	mk := func() modInstance { return f.New([]int{512, 512}, 32).(modInstance) }
+	up := updates(mk())
+	b.Run("CodeCloning", func(b *testing.B) {
+		benchJob(b, func() stencils.Job { return mk().Pochoir(pochoir.Options{}) }, up)
+	})
+	b.Run("ModEverywhere", func(b *testing.B) {
+		benchJob(b, func() stencils.Job { return mk().PochoirNoInterior(pochoir.Options{}) }, up)
+	})
+}
+
+// BenchmarkCoarsening regenerates the §4 base-case-coarsening ablation.
+func BenchmarkCoarsening(b *testing.B) {
+	f := stencils.NewHeat2DFactory(true)
+	up := float64(256*256) * 16
+	cases := []struct {
+		name string
+		opts pochoir.Options
+	}{
+		{"Pointwise", pochoir.Options{TimeCutoff: 1, SpaceCutoff: []int{1, 1}, Grain: 1 << 10}},
+		{"Small8x8", pochoir.Options{TimeCutoff: 2, SpaceCutoff: []int{8, 8}}},
+		{"PaperHeuristic", pochoir.Options{}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			benchJob(b, func() stencils.Job {
+				return f.New([]int{256, 256}, 16).Pochoir(c.opts)
+			}, up)
+		})
+	}
+}
+
+// BenchmarkAblationHyperspaceVsSpaceCuts measures the wall-clock effect of
+// the hyperspace-cut strategy itself (TRAP vs STRAP execution) — the
+// design choice Fig. 9 analyzes — on a real kernel.
+func BenchmarkAblationHyperspaceVsSpaceCuts(b *testing.B) {
+	f := stencils.NewHeat2DFactory(true)
+	up := float64(512*512) * 32
+	b.Run("TRAP", func(b *testing.B) {
+		benchJob(b, func() stencils.Job {
+			return f.New([]int{512, 512}, 32).Pochoir(pochoir.Options{})
+		}, up)
+	})
+	b.Run("STRAP", func(b *testing.B) {
+		benchJob(b, func() stencils.Job {
+			return f.New([]int{512, 512}, 32).Pochoir(pochoir.Options{Algorithm: core.STRAP})
+		}, up)
+	})
+}
+
+// BenchmarkPhase1VsPhase2 measures the template-library (interpreted)
+// path against the compiled path — the cost of the Pochoir Guarantee's
+// comfortable debugging mode.
+func BenchmarkPhase1VsPhase2(b *testing.B) {
+	f := stencils.NewHeat2DFactory(true)
+	up := float64(256*256) * 16
+	b.Run("Phase1Generic", func(b *testing.B) {
+		benchJob(b, func() stencils.Job {
+			return f.New([]int{256, 256}, 16).PochoirGeneric(pochoir.Options{})
+		}, up)
+	})
+	b.Run("Phase2Specialized", func(b *testing.B) {
+		benchJob(b, func() stencils.Job {
+			return f.New([]int{256, 256}, 16).Pochoir(pochoir.Options{})
+		}, up)
+	})
+}

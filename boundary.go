@@ -1,0 +1,45 @@
+package pochoir
+
+// Stock boundary functions covering the regimes discussed in the paper:
+// periodic wrap (Fig. 6), Dirichlet conditions with time-varying values
+// (Fig. 11a), Neumann zero-derivative conditions via clamping (Fig. 11b),
+// and constant/zero halos (the ghost-cell value).
+
+// PeriodicBoundary returns a boundary function that wraps every spatial
+// coordinate modulo the array extents — a torus in all dimensions.
+func PeriodicBoundary[T any]() Boundary[T] {
+	return func(a *Array[T], t int, idx []int) T {
+		return a.GetPeriodic(t, idx...)
+	}
+}
+
+// DirichletBoundary returns a boundary function that supplies the value
+// v(t, idx) at every off-domain point; v may depend on time, as in the
+// paper's "100 + 0.2*t" example.
+func DirichletBoundary[T any](v func(t int, idx []int) T) Boundary[T] {
+	return func(a *Array[T], t int, idx []int) T {
+		return v(t, idx)
+	}
+}
+
+// ConstBoundary returns a boundary function that supplies the constant v —
+// the classic ghost-cell halo value.
+func ConstBoundary[T any](v T) Boundary[T] {
+	return func(a *Array[T], t int, idx []int) T {
+		return v
+	}
+}
+
+// ZeroBoundary returns a boundary function supplying the zero value of T.
+func ZeroBoundary[T any]() Boundary[T] {
+	var zero T
+	return ConstBoundary[T](zero)
+}
+
+// NeumannBoundary returns a boundary function that clamps each coordinate
+// to the domain edge, imposing a zero derivative at the boundary.
+func NeumannBoundary[T any]() Boundary[T] {
+	return func(a *Array[T], t int, idx []int) T {
+		return a.GetClamped(t, idx...)
+	}
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"pochoir"
+	"pochoir/internal/stencils"
+	"pochoir/internal/tune"
+)
+
+// macroShadower is implemented by benchmarks offering a Fig. 12(b)-style
+// interior clone alongside the default split-pointer one.
+type macroShadower interface {
+	stencils.Instance
+	PochoirMacroShadow(pochoir.Options) stencils.Job
+}
+
+// noInteriorRunner is implemented by benchmarks offering the §4
+// modular-indexing ablation (interior clone disabled).
+type noInteriorRunner interface {
+	stencils.Instance
+	PochoirNoInterior(pochoir.Options) stencils.Job
+}
+
+// runFig13 regenerates Fig. 13: throughput (grid points per second) of the
+// two loop-indexing styles on the 2D periodic heat equation across grid
+// sizes. The paper shows split-pointer ahead of split-macro-shadow across
+// the sweep (1.2e8 .. 5.3e9 points/s on their hardware).
+func runFig13() {
+	header("Fig. 13: loop-indexing styles, 2D periodic heat (points/s)")
+	ns := []int{100, 200, 400, 800, 1600}
+	steps := 200
+	if *quick {
+		ns = []int{100, 200, 400}
+		steps = 50
+	}
+	f := stencils.NewHeat2DFactory(true)
+	fmt.Printf("%8s %16s %20s %8s\n", "N", "split-pointer", "split-macro-shadow", "ratio")
+	for _, n := range ns {
+		instP := f.New([]int{n, n}, steps)
+		dP := timeJob(instP.Pochoir(pochoir.Options{}))
+		instM := f.New([]int{n, n}, steps).(macroShadower)
+		dM := timeJob(instM.PochoirMacroShadow(pochoir.Options{}))
+		updates := float64(instP.Points()) * float64(instP.Steps())
+		fmt.Printf("%8d %16.3g %20.3g %7.2fx\n",
+			n, updates/dP.Seconds(), updates/dM.Seconds(), dM.Seconds()/dP.Seconds())
+	}
+	footer()
+}
+
+// runMod regenerates the §4 modular-indexing ablation: the same Pochoir
+// computation with the interior clone disabled, so every access pays the
+// modulo/boundary machinery. The paper measured a 2.3x degradation at
+// 5000^2 x 5000.
+func runMod() {
+	header("§4 ablation: code cloning vs modular indexing everywhere")
+	f := stencils.NewHeat2DFactory(true)
+	sizes, steps := []int{1000, 1000}, 100
+	if *quick {
+		sizes, steps = []int{300, 300}, 40
+	}
+	cloned := timeJob(f.New(sizes, steps).Pochoir(pochoir.Options{}))
+	modAll := timeJob(f.New(sizes, steps).(noInteriorRunner).PochoirNoInterior(pochoir.Options{}))
+	fmt.Printf("%-36s %10s\n", "with interior clone (code cloning):", seconds(cloned))
+	fmt.Printf("%-36s %10s\n", "modular indexing on every access:", seconds(modAll))
+	fmt.Printf("%-36s %9.1fx   (paper: 2.3x)\n", "degradation:", modAll.Seconds()/cloned.Seconds())
+	footer()
+}
+
+// runCoarsen regenerates the §4 coarsening ablation: recursion down to
+// single grid points vs the paper's heuristic cutoffs vs an intermediate
+// setting. The paper reports a 36x gap between pointwise recursion and
+// proper coarsening on the 2D heat equation.
+func runCoarsen() {
+	header("§4 ablation: base-case coarsening, 2D periodic heat")
+	f := stencils.NewHeat2DFactory(true)
+	sizes, steps := []int{500, 500}, 50
+	if *quick {
+		sizes, steps = []int{200, 200}, 20
+	}
+	configs := []struct {
+		name string
+		opts pochoir.Options
+	}{
+		{"pointwise (1x1, dt 1)", pochoir.Options{TimeCutoff: 1, SpaceCutoff: []int{1, 1}, Grain: 1 << 10}},
+		{"small (8x8, dt 2)", pochoir.Options{TimeCutoff: 2, SpaceCutoff: []int{8, 8}}},
+		{"paper heuristic (100x100, dt 5)", pochoir.Options{}},
+	}
+	var base time.Duration
+	for i, c := range configs {
+		d := timeJob(f.New(sizes, steps).Pochoir(c.opts))
+		if i == 0 {
+			base = d
+			fmt.Printf("%-34s %10s\n", c.name, seconds(d))
+			continue
+		}
+		fmt.Printf("%-34s %10s   %6.1fx faster than pointwise\n",
+			c.name, seconds(d), base.Seconds()/d.Seconds())
+	}
+	fmt.Println("(paper: proper coarsening is 36x faster than pointwise recursion)")
+	footer()
+}
+
+// runTune runs the coordinate-descent autotuner (the ISAT substitute) on
+// the 2D heat equation and reports the configuration it selects.
+func runTune() {
+	header("§4 autotuning: coarsening search (ISAT substitute)")
+	f := stencils.NewHeat2DFactory(true)
+	sizes, steps := []int{500, 500}, 40
+	if *quick {
+		sizes, steps = []int{200, 200}, 16
+	}
+	eval := func(c tune.Config) time.Duration {
+		opts := pochoir.Options{TimeCutoff: c.TimeCutoff, SpaceCutoff: c.SpaceCutoff}
+		return timeJob(f.New(sizes, steps).Pochoir(opts))
+	}
+	res := tune.Search(2, tune.Config{TimeCutoff: 5, SpaceCutoff: []int{100, 100}}, eval, tune.Options{
+		TimeCandidates:  []int{1, 2, 5, 10},
+		SpaceCandidates: []int{16, 50, 100, 200},
+		MaxPasses:       2,
+	})
+	fmt.Printf("best: time cutoff %d, space cutoffs %v (%s; %d configurations timed)\n",
+		res.Best.TimeCutoff, res.Best.SpaceCutoff, seconds(res.BestCost), res.Evals)
+	footer()
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"fmt"
+
+	"pochoir"
+	"pochoir/internal/stencils"
+)
+
+// quickWorkloads are the smoke-test workloads per benchmark.
+var quickWorkloads = map[string]struct {
+	sizes []int
+	steps int
+}{
+	"Heat 2":      {[]int{300, 300}, 30},
+	"Heat 2p":     {[]int{300, 300}, 30},
+	"Heat 4":      {[]int{16, 16, 16, 16}, 8},
+	"Life 2p":     {[]int{300, 300}, 30},
+	"Wave 3":      {[]int{48, 48, 48}, 12},
+	"LBM 3":       {[]int{16, 16, 20}, 16},
+	"RNA 2":       {[]int{64, 64}, 128},
+	"PSA 1":       {[]int{2001}, 4200},
+	"LCS 1":       {[]int{2001}, 4200},
+	"APOP":        {[]int{40000}, 300},
+	"3D 7-point":  {[]int{48, 48, 48}, 16},
+	"3D 27-point": {[]int{48, 48, 48}, 16},
+}
+
+func instance(f stencils.Factory) stencils.Instance {
+	if *quick {
+		w := quickWorkloads[f.Name]
+		return f.New(w.sizes, w.steps)
+	}
+	return f.New(nil, 0) // scaled-down defaults
+}
+
+// runIntro reproduces the §1 headline: the 2D periodic heat equation, the
+// parallel LOOPS implementation vs the Pochoir TRAP code. The paper
+// measured 248s vs 24s (>10x) at 5000^2 x 5000 on 12 cores.
+func runIntro() {
+	header("§1 intro: LOOPS vs Pochoir, 2D periodic heat")
+	f := stencils.NewHeat2DFactory(true)
+	inst := instance(f)
+	fmt.Printf("grid %v, %d steps\n", inst.Sizes(), inst.Steps())
+	loops := timeJob(inst.LoopsParallel())
+	inst2 := instance(f)
+	poch := timeJob(inst2.Pochoir(pochoir.Options{}))
+	fmt.Printf("%-24s %s\n", "parallel loops (LOOPS):", seconds(loops))
+	fmt.Printf("%-24s %s\n", "Pochoir (TRAP):", seconds(poch))
+	fmt.Printf("%-24s %.1fx   (paper: 248s vs 24s, >10x)\n", "advantage:",
+		loops.Seconds()/poch.Seconds())
+	footer()
+}
+
+// runFig3 regenerates the Fig. 3 table: for each benchmark, Pochoir on one
+// core and on all cores, the serial loop implementation, and the parallel
+// loop implementation, with the paper's two ratio columns.
+func runFig3() {
+	header("Fig. 3: benchmark table (scaled workloads)")
+	fmt.Printf("%-12s %-5s %-16s %6s | %9s %9s %7s | %9s %6s | %9s %6s\n",
+		"Benchmark", "Dims", "Grid", "Steps",
+		"Poch 1c", "Poch Nc", "speedup", "Ser loops", "ratio", "Par loops", "ratio")
+	for _, f := range stencils.All() {
+		if f.Order > 10 {
+			continue // Fig. 5 kernels have their own table
+		}
+		if *benchName != "" && f.Name != *benchName {
+			continue
+		}
+		serial1 := timeJob(instance(f).Pochoir(pochoir.Options{Serial: true}))
+		parN := timeJob(instance(f).Pochoir(pochoir.Options{}))
+		loopsS := timeJob(instance(f).LoopsSerial())
+		loopsP := timeJob(instance(f).LoopsParallel())
+		inst := instance(f)
+		grid := ""
+		for i, s := range inst.Sizes() {
+			if i > 0 {
+				grid += "x"
+			}
+			grid += fmt.Sprint(s)
+		}
+		fmt.Printf("%-12s %-5d %-16s %6d | %9s %9s %6.1fx | %9s %5.1fx | %9s %5.1fx\n",
+			f.Name, f.Dims, grid, inst.Steps(),
+			seconds(serial1), seconds(parN), serial1.Seconds()/parN.Seconds(),
+			seconds(loopsS), loopsS.Seconds()/parN.Seconds(),
+			seconds(loopsP), loopsP.Seconds()/parN.Seconds())
+	}
+	fmt.Println("(ratio = that implementation's time / Pochoir-all-cores time, as in the paper)")
+	footer()
+}
+
+// runFig5 regenerates Fig. 5: throughput of the Berkeley 7-point and
+// 27-point kernels in GStencil/s and GFLOPS.
+func runFig5() {
+	header("Fig. 5: 3D 7-point and 27-point kernels")
+	fmt.Printf("%-12s %-14s %6s | %12s %10s\n", "Kernel", "Grid", "Steps", "GStencil/s", "GFLOPS")
+	for _, name := range []string{"3D 7-point", "3D 27-point"} {
+		f, _ := stencils.Lookup(name)
+		inst := instance(f)
+		d := timeJob(inst.Pochoir(pochoir.Options{}))
+		updates := float64(inst.Points()) * float64(inst.Steps())
+		gst := updates / d.Seconds() / 1e9
+		grid := ""
+		for i, s := range inst.Sizes() {
+			if i > 0 {
+				grid += "x"
+			}
+			grid += fmt.Sprint(s)
+		}
+		fmt.Printf("%-12s %-14s %6d | %12.3f %10.2f\n",
+			name, grid, inst.Steps(), gst, gst*inst.FlopsPerPoint())
+	}
+	fmt.Println("(paper, 8 threads on Xeon X5650: 7-point 2.49 GStencil/s / 19.92 GFLOPS;")
+	fmt.Println(" 27-point 0.88 GStencil/s / 26.4 GFLOPS)")
+	footer()
+}

@@ -1,0 +1,3 @@
+module pochoir
+
+go 1.24

@@ -1,0 +1,121 @@
+// Package cachesim implements the ideal-cache model [15] the paper's
+// theory is stated in: a fully associative cache of M grid points with
+// lines of B grid points and optimal-replacement-approximating LRU. It
+// stands in for the hardware cache counters (Linux perf) behind Fig. 10:
+// replaying the memory trace of a stencil execution through the model
+// yields the cache-miss ratio (misses / memory references) for the TRAP,
+// STRAP, and LOOPS orders.
+package cachesim
+
+// Cache is a fully associative LRU cache over cache lines. Addresses are
+// in units of grid points; a line holds B consecutive points and the cache
+// holds M/B lines.
+type Cache struct {
+	b        int64
+	capacity int // lines
+
+	lines map[int64]*node
+	head  *node // most recently used
+	tail  *node // least recently used
+
+	accesses, misses int64
+}
+
+type node struct {
+	line       int64
+	prev, next *node
+}
+
+// New builds a cache of mPoints capacity with bPoints-sized lines.
+func New(mPoints, bPoints int) *Cache {
+	if bPoints < 1 {
+		bPoints = 1
+	}
+	cap := mPoints / bPoints
+	if cap < 1 {
+		cap = 1
+	}
+	return &Cache{
+		b:        int64(bPoints),
+		capacity: cap,
+		lines:    make(map[int64]*node, cap+1),
+	}
+}
+
+// M returns the capacity in points; B the line size in points.
+func (c *Cache) M() int { return c.capacity * int(c.b) }
+func (c *Cache) B() int { return int(c.b) }
+
+// Access references the grid point at addr, updating hit/miss statistics.
+func (c *Cache) Access(addr int64) {
+	c.accesses++
+	line := addr / c.b
+	if n, ok := c.lines[line]; ok {
+		c.touch(n)
+		return
+	}
+	c.misses++
+	n := &node{line: line}
+	c.lines[line] = n
+	c.pushFront(n)
+	if len(c.lines) > c.capacity {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.lines, lru.line)
+	}
+}
+
+func (c *Cache) pushFront(n *node) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *Cache) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *Cache) touch(n *node) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+// Accesses returns the number of memory references seen.
+func (c *Cache) Accesses() int64 { return c.accesses }
+
+// Misses returns the number of cache misses incurred.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// Ratio returns the cache-miss ratio misses/accesses — the Fig. 10 metric.
+func (c *Cache) Ratio() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	c.lines = make(map[int64]*node, c.capacity+1)
+	c.head, c.tail = nil, nil
+	c.accesses, c.misses = 0, 0
+}

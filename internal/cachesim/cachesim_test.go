@@ -1,0 +1,171 @@
+package cachesim
+
+import (
+	"testing"
+
+	"pochoir/internal/cilkview"
+	"pochoir/internal/core"
+	"pochoir/internal/shape"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c := New(4, 1) // 4 lines of 1 point
+	for _, a := range []int64{0, 1, 2, 3} {
+		c.Access(a)
+	}
+	if c.Misses() != 4 || c.Accesses() != 4 {
+		t.Fatalf("cold misses: %d/%d", c.Misses(), c.Accesses())
+	}
+	for _, a := range []int64{0, 1, 2, 3} {
+		c.Access(a)
+	}
+	if c.Misses() != 4 {
+		t.Fatalf("all warm accesses should hit, misses=%d", c.Misses())
+	}
+	c.Access(4) // evicts LRU line 0
+	c.Access(4)
+	if c.Misses() != 5 {
+		t.Fatalf("misses=%d", c.Misses())
+	}
+	c.Access(0) // must have been evicted
+	if c.Misses() != 6 {
+		t.Fatalf("line 0 should have been evicted (LRU), misses=%d", c.Misses())
+	}
+	// 1 was touched after 0, so with 5 lines inserted and capacity 4,
+	// accessing 1 now misses too (evicted by 0's reinsertion).
+	c.Access(2)
+	if c.Misses() != 6 {
+		t.Fatalf("line 2 should still be resident, misses=%d", c.Misses())
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := New(2, 1)
+	c.Access(10)
+	c.Access(20)
+	c.Access(10) // 10 MRU, 20 LRU
+	c.Access(30) // evicts 20
+	m := c.Misses()
+	c.Access(10)
+	if c.Misses() != m {
+		t.Fatal("10 should be resident")
+	}
+	c.Access(20)
+	if c.Misses() != m+1 {
+		t.Fatal("20 should have been evicted")
+	}
+}
+
+func TestCacheLineGranularity(t *testing.T) {
+	c := New(64, 8)
+	for a := int64(0); a < 64; a++ {
+		c.Access(a)
+	}
+	if c.Misses() != 8 {
+		t.Fatalf("streaming 64 points with B=8 should miss 8 times, got %d", c.Misses())
+	}
+	if r := c.Ratio(); r != 0.125 {
+		t.Fatalf("ratio %v, want 0.125", r)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := New(8, 2)
+	c.Access(1)
+	c.Reset()
+	if c.Accesses() != 0 || c.Misses() != 0 || c.Ratio() != 0 {
+		t.Fatal("reset should clear stats")
+	}
+	c.Access(1)
+	if c.Misses() != 1 {
+		t.Fatal("reset should clear contents")
+	}
+}
+
+func heatShape2D(t *testing.T) *shape.Shape {
+	t.Helper()
+	return shape.MustNew(2, [][]int{
+		{1, 0, 0}, {0, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, -1}, {0, 0, 1},
+	})
+}
+
+// TestTraceAccessCounts: every path must issue exactly
+// points*steps*len(shape cells) references.
+func TestTraceAccessCounts(t *testing.T) {
+	sh := heatShape2D(t)
+	n, steps := 32, 16
+	wantRefs := int64(n*n*steps) * int64(len(sh.Cells))
+
+	trL := NewTracer(New(1024, 8), sh, []int{n, n})
+	TraceLoops(trL, steps)
+	if trL.Cache.Accesses() != wantRefs {
+		t.Fatalf("loops refs %d, want %d", trL.Cache.Accesses(), wantRefs)
+	}
+
+	for _, alg := range []core.Algorithm{core.TRAP, core.STRAP} {
+		w := cilkview.Config(2, n, 1, false, alg)
+		tr := NewTracer(New(1024, 8), sh, []int{n, n})
+		if _, err := TraceWalker(w, tr, steps); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Cache.Accesses() != wantRefs {
+			t.Fatalf("%v refs %d, want %d", alg, tr.Cache.Accesses(), wantRefs)
+		}
+	}
+}
+
+// TestFig10Shape reproduces Fig. 10's qualitative content at model scale:
+// once the grid exceeds the cache, LOOPS has a much higher miss ratio than
+// TRAP and STRAP, and TRAP matches STRAP (they make exactly the same time
+// cuts, §3 Discussion).
+func TestFig10Shape(t *testing.T) {
+	sh := heatShape2D(t)
+	const mPoints, bPoints = 4096, 8
+	n := 256 // grid 64k points >> cache 4k points
+	steps := 64
+
+	loopsTr := NewTracer(New(mPoints, bPoints), sh, []int{n, n})
+	loopsRatio := TraceLoops(loopsTr, steps)
+
+	ratios := map[core.Algorithm]float64{}
+	for _, alg := range []core.Algorithm{core.TRAP, core.STRAP} {
+		w := cilkview.Config(2, n, 1, false, alg)
+		tr := NewTracer(New(mPoints, bPoints), sh, []int{n, n})
+		r, err := TraceWalker(w, tr, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratios[alg] = r
+	}
+	t.Logf("miss ratios: loops=%.4f trap=%.4f strap=%.4f", loopsRatio, ratios[core.TRAP], ratios[core.STRAP])
+	if loopsRatio < 3*ratios[core.TRAP] {
+		t.Fatalf("LOOPS ratio %.4f should far exceed TRAP %.4f", loopsRatio, ratios[core.TRAP])
+	}
+	// TRAP and STRAP: same cache complexity (same time cuts); allow a
+	// small tolerance for differing same-level interleavings.
+	if d := ratios[core.TRAP] / ratios[core.STRAP]; d < 0.8 || d > 1.25 {
+		t.Fatalf("TRAP/STRAP miss ratios should match: %.4f vs %.4f", ratios[core.TRAP], ratios[core.STRAP])
+	}
+}
+
+// TestSmallGridFitsInCache: when the whole problem fits in cache, every
+// order has only compulsory misses and the ratios converge.
+func TestSmallGridFitsInCache(t *testing.T) {
+	sh := heatShape2D(t)
+	n, steps := 16, 32 // 2 slots * 256 points << 4096-point cache
+	lo := NewTracer(New(4096, 8), sh, []int{n, n})
+	lr := TraceLoops(lo, steps)
+	w := cilkview.Config(2, n, 1, false, core.TRAP)
+	tr := NewTracer(New(4096, 8), sh, []int{n, n})
+	rr, err := TraceWalker(w, tr, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Cache.Misses() != tr.Cache.Misses() {
+		t.Fatalf("in-cache problem: both orders should incur only compulsory misses (%d vs %d)",
+			lo.Cache.Misses(), tr.Cache.Misses())
+	}
+	if lr != rr {
+		t.Fatalf("ratios should match exactly: %v vs %v", lr, rr)
+	}
+}

@@ -1,0 +1,152 @@
+package cachesim
+
+import (
+	"pochoir/internal/core"
+	"pochoir/internal/shape"
+	"pochoir/internal/zoid"
+)
+
+// This file generates the memory traces of Fig. 10: the same stencil
+// executed in TRAP order, STRAP order, and LOOPS order, with every kernel
+// application touching the addresses its shape implies in the Pochoir
+// array layout (slot*pointsPerSlot + row-major spatial offset).
+
+// Tracer replays a stencil's memory accesses through a Cache.
+type Tracer struct {
+	Cache *Cache
+	Shape *shape.Shape
+	Sizes []int
+
+	strides []int
+	total   int64
+	slots   int64
+	offs    []traceOff
+}
+
+type traceOff struct {
+	dt int
+	dx []int
+}
+
+// NewTracer builds a tracer for the stencil shape over the given grid.
+func NewTracer(c *Cache, sh *shape.Shape, sizes []int) *Tracer {
+	tr := &Tracer{Cache: c, Shape: sh, Sizes: sizes}
+	d := len(sizes)
+	tr.strides = make([]int, d)
+	st := 1
+	for i := d - 1; i >= 0; i-- {
+		tr.strides[i] = st
+		st *= sizes[i]
+	}
+	tr.total = int64(st)
+	tr.slots = int64(sh.Depth() + 1)
+	home := sh.Cells[0]
+	for _, cell := range sh.Cells {
+		tr.offs = append(tr.offs, traceOff{dt: cell.DT - home.DT, dx: cell.DX})
+	}
+	return tr
+}
+
+// visit issues the shape's accesses for the kernel application writing
+// time w at true spatial coordinates x. Reads are issued before the write,
+// as a kernel would.
+func (tr *Tracer) visit(w int, x []int) {
+	for k := len(tr.offs) - 1; k >= 1; k-- {
+		tr.access(w+tr.offs[k].dt, x, tr.offs[k].dx)
+	}
+	tr.access(w, x, tr.offs[0].dx)
+}
+
+func (tr *Tracer) access(t int, x, dx []int) {
+	slot := int64(t) % tr.slots
+	if slot < 0 {
+		slot += tr.slots
+	}
+	lin := int64(0)
+	for i, v := range x {
+		c := v + dx[i]
+		// Wrap out-of-range neighbors; a boundary function's access
+		// pattern is grid-local either way (periodic wrap or clamped
+		// edge), and modulo keeps the trace well defined.
+		n := tr.Sizes[i]
+		c %= n
+		if c < 0 {
+			c += n
+		}
+		lin += int64(c) * int64(tr.strides[i])
+	}
+	tr.Cache.Access(slot*tr.total + lin)
+}
+
+// BaseFunc returns a base-case function that walks the zoid exactly as the
+// generic executor does (time-major, bounds advancing by slopes, virtual
+// coordinates reduced) and issues each point's accesses.
+func (tr *Tracer) BaseFunc() core.BaseFunc {
+	d := len(tr.Sizes)
+	return func(z zoid.Zoid) {
+		var lo, hi [zoid.MaxDims]int
+		for i := 0; i < d; i++ {
+			lo[i], hi[i] = z.Lo[i], z.Hi[i]
+		}
+		x := make([]int, d)
+		var rec func(t, dim int)
+		rec = func(t, dim int) {
+			if dim == d {
+				tr.visit(t, x)
+				return
+			}
+			for v := lo[dim]; v < hi[dim]; v++ {
+				c := v % tr.Sizes[dim]
+				if c < 0 {
+					c += tr.Sizes[dim]
+				}
+				x[dim] = c
+				rec(t, dim+1)
+			}
+		}
+		for t := z.T0; t < z.T1; t++ {
+			rec(t, 0)
+			for i := 0; i < d; i++ {
+				lo[i] += z.DLo[i]
+				hi[i] += z.DHi[i]
+			}
+		}
+	}
+}
+
+// TraceWalker replays the decomposition of the given walker configuration
+// (serial execution order) for `steps` home times and returns the
+// resulting miss ratio. The walker's base functions are installed by this
+// call.
+func TraceWalker(w *core.Walker, tr *Tracer, steps int) (float64, error) {
+	w.Serial = true
+	base := tr.BaseFunc()
+	w.Interior = base
+	w.Boundary = base
+	if err := w.Run(1, 1+steps); err != nil {
+		return 0, err
+	}
+	return tr.Cache.Ratio(), nil
+}
+
+// TraceLoops replays the LOOPS order: for each time step, a row-major
+// sweep of the whole grid.
+func TraceLoops(tr *Tracer, steps int) float64 {
+	d := len(tr.Sizes)
+	x := make([]int, d)
+	var rec func(t, dim int)
+	rec = func(t, dim int) {
+		if dim == d {
+			tr.visit(t, x)
+			return
+		}
+		for v := 0; v < tr.Sizes[dim]; v++ {
+			x[dim] = v
+			rec(t, dim+1)
+		}
+	}
+	for t := 1; t <= steps; t++ {
+		rec(t, 0)
+	}
+	return tr.Cache.Ratio()
+}

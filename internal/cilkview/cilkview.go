@@ -1,0 +1,212 @@
+// Package cilkview is a work/span analyzer for the TRAP and STRAP
+// decompositions, standing in for the Cilkview scalability analyzer the
+// paper uses for Fig. 9. It replays the engine's exact recursion
+// (cut decisions come from core.Walker.CutSet) without executing any
+// kernel, accounting
+//
+//   - work T1: one unit per space-time grid point, plus per-spawn
+//     bookkeeping, and
+//   - span T∞: the longest dependency chain, where the subzoids of one
+//     dependency level run in parallel and a parallel step over r tasks
+//     adds Θ(lg r) to the span (§3, Analysis),
+//
+// and reports parallelism T1/T∞ — the quantity Fig. 9 plots. Because
+// subzoid metrics depend only on translation-invariant geometry, the
+// analysis memoizes on a canonical zoid signature and handles the
+// uncoarsened recursions of Fig. 9 (down to single grid points) in
+// logarithmic-size state.
+package cilkview
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pochoir/internal/core"
+	"pochoir/internal/zoid"
+)
+
+// Costs weights the accounting. The defaults charge one unit per grid
+// point and one unit of span per spawn level, which is how an
+// instruction-counting analyzer sees a compiled kernel up to a constant.
+type Costs struct {
+	// Point is the work (and span) of one kernel application.
+	Point int64
+	// Spawn is the span overhead multiplier for a parallel step: a step
+	// over r tasks adds Spawn*ceil(lg r) to the span.
+	Spawn int64
+	// Sync is the span overhead of finishing a level (one per level).
+	Sync int64
+}
+
+// DefaultCosts charges 1 per point, 1 per lg(spawn fan-out), 1 per sync.
+func DefaultCosts() Costs { return Costs{Point: 1, Spawn: 1, Sync: 1} }
+
+// Metrics is the analyzer's result.
+type Metrics struct {
+	Work int64 // T1
+	Span int64 // T∞
+	// Zoids and Bases count decomposition nodes and base cases.
+	Zoids int64
+	Bases int64
+}
+
+// Parallelism returns T1/T∞.
+func (m Metrics) Parallelism() float64 {
+	if m.Span == 0 {
+		return 0
+	}
+	return float64(m.Work) / float64(m.Span)
+}
+
+// Analyzer replays a walker's decomposition.
+type Analyzer struct {
+	W     *core.Walker
+	Costs Costs
+
+	memo map[string]Metrics
+}
+
+// New builds an analyzer for a walker configuration. Only the geometric
+// fields of the walker are consulted (dims, slopes, sizes, periodicity,
+// coarsening, algorithm); base functions are not needed.
+func New(w *core.Walker, costs Costs) *Analyzer {
+	return &Analyzer{W: w, Costs: costs, memo: make(map[string]Metrics)}
+}
+
+// Analyze computes work and span for running home times [t0, t1).
+func (a *Analyzer) Analyze(t0, t1 int) Metrics {
+	if t1 <= t0 {
+		return Metrics{}
+	}
+	z := zoid.Box(t0, t1, a.W.Sizes[:a.W.NDims])
+	return a.analyze(z)
+}
+
+// key builds the canonical translation-invariant signature of z: height
+// plus, per dimension, (bottom base, slopes, full-circle flag).
+func (a *Analyzer) key(z zoid.Zoid) string {
+	buf := make([]byte, 0, 8+z.N*16)
+	buf = fmt.Appendf(buf, "%d", z.Height())
+	for i := 0; i < z.N; i++ {
+		fc := 0
+		if a.W.Periodic[i] && z.IsFullCircle(i, a.W.Sizes[i]) {
+			fc = 1
+		}
+		buf = fmt.Appendf(buf, "|%d,%d,%d,%d", z.BottomBase(i), z.DLo[i], z.DHi[i], fc)
+	}
+	return string(buf)
+}
+
+func lg(n int) int64 {
+	if n <= 1 {
+		return 0
+	}
+	return int64(bits.Len(uint(n - 1)))
+}
+
+func (a *Analyzer) analyze(z zoid.Zoid) Metrics {
+	k := a.key(z)
+	if m, ok := a.memo[k]; ok {
+		return m
+	}
+	m := a.analyzeUncached(z)
+	a.memo[k] = m
+	return m
+}
+
+func (a *Analyzer) analyzeUncached(z zoid.Zoid) Metrics {
+	cuts := a.W.CutSet(z)
+	if len(cuts) > 0 {
+		switch a.W.Algorithm {
+		case core.STRAP:
+			return a.strapCut(z, cuts[0])
+		default:
+			return a.trapCut(z, cuts)
+		}
+	}
+	if h := z.Height(); h > a.W.TimeCutoffEffective() {
+		lower, upper := z.TimeCut()
+		ml := a.analyze(lower)
+		mu := a.analyze(upper)
+		return Metrics{
+			Work:  ml.Work + mu.Work,
+			Span:  ml.Span + mu.Span,
+			Zoids: ml.Zoids + mu.Zoids + 1,
+			Bases: ml.Bases + mu.Bases,
+		}
+	}
+	vol := z.Volume() * a.Costs.Point
+	return Metrics{Work: vol, Span: vol, Zoids: 1, Bases: 1}
+}
+
+// trapCut accounts a hyperspace cut: levels run serially; within a level
+// everything runs in parallel, costing the max child span plus the spawn
+// bookkeeping for the parallel step.
+func (a *Analyzer) trapCut(z zoid.Zoid, cuts []zoid.Cut) Metrics {
+	lv := zoid.HyperspaceCut(z, cuts)
+	out := Metrics{Zoids: 1}
+	for _, level := range lv.Zoids {
+		var maxSpan int64
+		for _, c := range level {
+			m := a.analyze(c)
+			out.Work += m.Work
+			out.Zoids += m.Zoids
+			out.Bases += m.Bases
+			if m.Span > maxSpan {
+				maxSpan = m.Span
+			}
+		}
+		out.Span += maxSpan + a.Costs.Spawn*lg(len(level)) + a.Costs.Sync
+	}
+	return out
+}
+
+// strapCut accounts Frigo–Strumpen-style serial space cuts: one dimension
+// is cut, yielding 2 parallel steps, and the recursion rediscovers the
+// remaining dimensions one at a time — so k cut dimensions cost 2k parallel
+// steps instead of TRAP's k+1.
+func (a *Analyzer) strapCut(z zoid.Zoid, c zoid.Cut) Metrics {
+	out := Metrics{Zoids: 1}
+	addParallel := func(zs []zoid.Zoid) {
+		var maxSpan int64
+		for _, s := range zs {
+			m := a.analyze(s)
+			out.Work += m.Work
+			out.Zoids += m.Zoids
+			out.Bases += m.Bases
+			if m.Span > maxSpan {
+				maxSpan = m.Span
+			}
+		}
+		out.Span += maxSpan + a.Costs.Spawn*lg(len(zs)) + a.Costs.Sync
+	}
+	if c.Kind == zoid.CutCircle {
+		sub, _ := z.CircleCut(c.Dim, c.Slope, c.Size)
+		addParallel(sub[0:2]) // blacks
+		addParallel(sub[2:4]) // grays
+		return out
+	}
+	sub, upright := z.SpaceCut(c.Dim, c.Slope)
+	if upright {
+		addParallel([]zoid.Zoid{sub[0], sub[2]})
+		addParallel([]zoid.Zoid{sub[1]})
+		return out
+	}
+	addParallel([]zoid.Zoid{sub[1]})
+	addParallel([]zoid.Zoid{sub[0], sub[2]})
+	return out
+}
+
+// Config builds the core.Walker geometry for a d-dimensional stencil with
+// uniform slope on a cubic grid — the Fig. 9 setting — with uncoarsened
+// base cases unless cutoffs are supplied.
+func Config(ndims, size, slope int, periodic bool, alg core.Algorithm) *core.Walker {
+	w := &core.Walker{NDims: ndims, Algorithm: alg, TimeCutoff: 1}
+	for i := 0; i < ndims; i++ {
+		w.Sizes[i] = size
+		w.Slopes[i] = slope
+		w.Reach[i] = slope
+		w.Periodic[i] = periodic
+	}
+	return w
+}

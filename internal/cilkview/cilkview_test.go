@@ -1,0 +1,169 @@
+package cilkview
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"pochoir/internal/core"
+	"pochoir/internal/zoid"
+)
+
+// TestWorkEqualsVolume: the analyzer's work must equal the space-time
+// volume exactly (one unit per point) regardless of algorithm.
+func TestWorkEqualsVolume(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.TRAP, core.STRAP} {
+		for _, d := range []int{1, 2, 3} {
+			size, steps := 40, 32
+			w := Config(d, size, 1, false, alg)
+			a := New(w, DefaultCosts())
+			m := a.Analyze(1, 1+steps)
+			want := int64(steps)
+			for i := 0; i < d; i++ {
+				want *= int64(size)
+			}
+			if m.Work != want {
+				t.Fatalf("%v d=%d: work %d, want %d", alg, d, m.Work, want)
+			}
+			if m.Span <= 0 || m.Span > m.Work {
+				t.Fatalf("%v d=%d: span %d out of range (work %d)", alg, d, m.Span, m.Work)
+			}
+		}
+	}
+}
+
+// TestMatchesRealDecomposition cross-checks the analyzer's base-case count
+// and work against an actual engine run with a counting base function.
+func TestMatchesRealDecomposition(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.TRAP, core.STRAP} {
+		for _, periodic := range []bool{false, true} {
+			w := Config(2, 48, 1, periodic, alg)
+			var bases, points atomic.Int64
+			w.Serial = true
+			w.Boundary = func(z zoid.Zoid) {
+				bases.Add(1)
+				points.Add(z.Volume())
+			}
+			if err := w.Run(1, 25); err != nil {
+				t.Fatal(err)
+			}
+			a := New(Config(2, 48, 1, periodic, alg), DefaultCosts())
+			m := a.Analyze(1, 25)
+			if m.Bases != bases.Load() {
+				t.Fatalf("%v periodic=%v: analyzer bases %d, engine %d", alg, periodic, m.Bases, bases.Load())
+			}
+			if m.Work != points.Load() {
+				t.Fatalf("%v periodic=%v: analyzer work %d, engine points %d", alg, periodic, m.Work, points.Load())
+			}
+		}
+	}
+}
+
+// TestTrapBeatsStrap2D: the headline of Fig. 9 — with two or more spatial
+// dimensions, hyperspace cuts yield more parallelism than serial space
+// cuts, and the gap widens with N.
+func TestTrapBeatsStrap2D(t *testing.T) {
+	prevRatio := 0.0
+	for _, n := range []int{64, 128, 256, 512} {
+		steps := n / 2
+		trap := New(Config(2, n, 1, false, core.TRAP), DefaultCosts()).Analyze(1, 1+steps)
+		strap := New(Config(2, n, 1, false, core.STRAP), DefaultCosts()).Analyze(1, 1+steps)
+		if trap.Work != strap.Work {
+			t.Fatalf("N=%d: TRAP and STRAP must perform identical work (%d vs %d)",
+				n, trap.Work, strap.Work)
+		}
+		pt, ps := trap.Parallelism(), strap.Parallelism()
+		if pt <= ps {
+			t.Fatalf("N=%d: TRAP parallelism %.1f not above STRAP %.1f", n, pt, ps)
+		}
+		ratio := pt / ps
+		if ratio < prevRatio*0.95 {
+			t.Fatalf("N=%d: TRAP/STRAP advantage %.2f shrank from %.2f; should grow with N",
+				n, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+	if prevRatio < 1.5 {
+		t.Fatalf("TRAP advantage at N=512 only %.2fx; expected substantially more", prevRatio)
+	}
+}
+
+// TestParallelismGrowsWithN: both algorithms' parallelism grows with the
+// grid side, as in both Fig. 9 plots.
+func TestParallelismGrowsWithN(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.TRAP, core.STRAP} {
+		prev := 0.0
+		for _, n := range []int{64, 128, 256} {
+			m := New(Config(2, n, 1, false, alg), DefaultCosts()).Analyze(1, 1+n/2)
+			p := m.Parallelism()
+			if p <= prev {
+				t.Fatalf("%v: parallelism %.1f at N=%d did not grow (prev %.1f)", alg, p, n, prev)
+			}
+			prev = p
+		}
+	}
+}
+
+// TestD1Equivalence: for d=1 the theorems give both algorithms the same
+// asymptotic parallelism Θ(w^(2-lg 3)); their measured parallelism should
+// be within a modest constant of each other.
+func TestD1Equivalence(t *testing.T) {
+	n := 4096
+	trap := New(Config(1, n, 1, false, core.TRAP), DefaultCosts()).Analyze(1, 1+n/4)
+	strap := New(Config(1, n, 1, false, core.STRAP), DefaultCosts()).Analyze(1, 1+n/4)
+	r := trap.Parallelism() / strap.Parallelism()
+	if r < 0.5 || r > 2.0 {
+		t.Fatalf("d=1 TRAP/STRAP parallelism ratio %.2f; expected within constant factor", r)
+	}
+}
+
+// TestCoarseningReducesSpanOverhead: coarsened base cases reduce the zoid
+// count dramatically while work stays fixed.
+func TestCoarseningReducesZoids(t *testing.T) {
+	fine := New(Config(2, 256, 1, false, core.TRAP), DefaultCosts()).Analyze(1, 65)
+	w := Config(2, 256, 1, false, core.TRAP)
+	w.TimeCutoff = 5
+	w.SpaceCutoff[0], w.SpaceCutoff[1] = 100, 100
+	coarse := New(w, DefaultCosts()).Analyze(1, 65)
+	if coarse.Work != fine.Work {
+		t.Fatalf("coarsening changed work: %d vs %d", coarse.Work, fine.Work)
+	}
+	if coarse.Zoids*10 > fine.Zoids {
+		t.Fatalf("coarsening should cut zoid count >10x: %d vs %d", coarse.Zoids, fine.Zoids)
+	}
+}
+
+// TestMemoizationScales: the uncoarsened Fig. 9 workloads (space-time
+// 1000*N^2) must be analyzable without exploding; memoization keeps the
+// state logarithmic in N.
+func TestMemoizationScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	a := New(Config(2, 1600, 1, false, core.TRAP), DefaultCosts())
+	m := a.Analyze(1, 1001)
+	wantWork := int64(1000) * 1600 * 1600
+	if m.Work != wantWork {
+		t.Fatalf("work %d, want %d", m.Work, wantWork)
+	}
+	if len(a.memo) > 2_000_000 {
+		t.Fatalf("memo exploded: %d entries", len(a.memo))
+	}
+	if m.Parallelism() < 100 {
+		t.Fatalf("2D N=1600 uncoarsened parallelism %.1f unexpectedly low", m.Parallelism())
+	}
+}
+
+func TestMetricsParallelismZeroSpan(t *testing.T) {
+	if (Metrics{}).Parallelism() != 0 {
+		t.Fatal("zero metrics should report zero parallelism")
+	}
+}
+
+func TestLg(t *testing.T) {
+	cases := map[int]int64{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4}
+	for n, want := range cases {
+		if got := lg(n); got != want {
+			t.Errorf("lg(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package compiler implements the Pochoir stencil compiler (§4) for a
+// small stencil specification language, mirroring the paper's two-phase
+// methodology in Go:
+//
+//   - Phase 1: Parse + Check validate a specification and Interp executes
+//     it directly through the checked template-library path (package
+//     pochoir), enforcing the Pochoir Guarantee;
+//   - Phase 2: Codegen performs a source-to-source translation, emitting a
+//     Go file with specialized base-case kernels in either the
+//     -split-pointer style (per-term cursor slices, Fig. 12c) or the
+//     -split-macro-shadow style (unchecked address arithmetic, Fig. 12b),
+//     plus the boundary clone and the glue to run on the TRAP engine.
+//
+// The input language covers the constructs of §2: a stencil object with
+// dimensionality, named parameters, Pochoir arrays, per-array boundary
+// conditions, and an imperative kernel whose accesses use constant
+// space-time offsets from the point being updated. Example:
+//
+//	stencil heat2d {
+//	  dims: 2;
+//	  param CX = 0.125;
+//	  param CY = 0.125;
+//	  array u;
+//	  boundary u: periodic;
+//	  kernel {
+//	    u(t+1, x, y) = u(t, x, y)
+//	      + CX * (u(t, x+1, y) - 2*u(t, x, y) + u(t, x-1, y))
+//	      + CY * (u(t, x, y+1) - 2*u(t, x, y) + u(t, x, y-1));
+//	  }
+//	}
+//
+// The stencil shape is inferred from the kernel's accesses — the inverse
+// of the paper's arrangement, where the user declares the shape and the
+// template library checks accesses against it. Both directions enforce the
+// same contract; Check additionally re-verifies the inferred shape against
+// the §2 rules (home cell first, reads strictly earlier in time).
+package compiler
+
+import "fmt"
+
+// Pos is a source position for diagnostics.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a compile error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ---- Top-level AST ----
+
+// Program is one parsed stencil specification.
+type Program struct {
+	Pos    Pos
+	Name   string
+	Dims   int
+	Params []*Param
+	Arrays []*ArrayDecl
+	Kernel []*Assign
+}
+
+// Param is a named numeric constant.
+type Param struct {
+	Pos   Pos
+	Name  string
+	Value float64
+}
+
+// BoundaryKind enumerates the supported boundary conditions.
+type BoundaryKind int
+
+const (
+	// BoundaryZero supplies 0 off-domain (the default).
+	BoundaryZero BoundaryKind = iota
+	// BoundaryPeriodic wraps coordinates on a torus.
+	BoundaryPeriodic
+	// BoundaryConstant supplies a fixed value.
+	BoundaryConstant
+	// BoundaryClamp clamps coordinates to the domain edge (Neumann).
+	BoundaryClamp
+)
+
+func (k BoundaryKind) String() string {
+	switch k {
+	case BoundaryZero:
+		return "zero"
+	case BoundaryPeriodic:
+		return "periodic"
+	case BoundaryConstant:
+		return "constant"
+	case BoundaryClamp:
+		return "clamp"
+	}
+	return fmt.Sprintf("BoundaryKind(%d)", int(k))
+}
+
+// ArrayDecl declares a Pochoir array participating in the computation.
+type ArrayDecl struct {
+	Pos      Pos
+	Name     string
+	Boundary BoundaryKind
+	Constant float64 // for BoundaryConstant
+}
+
+// Assign is one kernel statement: array(t+k, x, y, ...) = expr.
+type Assign struct {
+	Pos Pos
+	LHS *Access
+	RHS Expr
+}
+
+// ---- Expressions ----
+
+// Expr is a kernel expression node.
+type Expr interface {
+	Position() Pos
+	expr()
+}
+
+// Num is a numeric literal.
+type Num struct {
+	Pos   Pos
+	Value float64
+	Text  string // original spelling, preserved in generated code
+}
+
+// Ref is a parameter reference.
+type Ref struct {
+	Pos  Pos
+	Name string
+}
+
+// Access is an array access with constant space-time offsets: DT is the
+// offset from the kernel's time argument and DX the per-dimension spatial
+// offsets from the point being updated.
+type Access struct {
+	Pos   Pos
+	Array string
+	DT    int
+	DX    []int
+}
+
+// Unary is negation.
+type Unary struct {
+	Pos Pos
+	Op  byte // '-'
+	X   Expr
+}
+
+// Binary is a binary arithmetic operation.
+type Binary struct {
+	Pos  Pos
+	Op   byte // '+', '-', '*', '/'
+	L, R Expr
+}
+
+// Call is a builtin function call: max or min over two arguments.
+type Call struct {
+	Pos  Pos
+	Name string // "max" | "min"
+	Args []Expr
+}
+
+func (n *Num) Position() Pos    { return n.Pos }
+func (r *Ref) Position() Pos    { return r.Pos }
+func (a *Access) Position() Pos { return a.Pos }
+func (u *Unary) Position() Pos  { return u.Pos }
+func (b *Binary) Position() Pos { return b.Pos }
+func (c *Call) Position() Pos   { return c.Pos }
+
+func (*Num) expr()    {}
+func (*Ref) expr()    {}
+func (*Access) expr() {}
+func (*Unary) expr()  {}
+func (*Binary) expr() {}
+func (*Call) expr()   {}
+
+// Walk calls fn for every node of the expression tree, depth first.
+func Walk(e Expr, fn func(Expr)) {
+	fn(e)
+	switch n := e.(type) {
+	case *Unary:
+		Walk(n.X, fn)
+	case *Binary:
+		Walk(n.L, fn)
+		Walk(n.R, fn)
+	case *Call:
+		for _, a := range n.Args {
+			Walk(a, fn)
+		}
+	}
+}
+
+// indexNames are the fixed spatial index identifiers by dimension order.
+var indexNames = []string{"x", "y", "z", "w"}
+
+// MaxDSLDims is the dimensionality limit of the specification language
+// (the engine itself supports more; the DSL's fixed index names t,x,y,z,w
+// cap it at four).
+const MaxDSLDims = 4

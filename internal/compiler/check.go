@@ -1,0 +1,181 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"pochoir/internal/shape"
+)
+
+// Checked is a validated stencil specification with its inferred shape —
+// everything the interpreter and the code generator need.
+type Checked struct {
+	Prog *Program
+	// Shape is the inferred stencil shape (home cell first).
+	Shape *shape.Shape
+	// HomeDT is the time offset of the writes relative to the kernel's
+	// time argument, and Depth the stencil depth.
+	HomeDT int
+	Depth  int
+	// Reads lists the distinct read accesses (array, dt, dx), sorted
+	// canonically; the code generator allocates one cursor per entry.
+	Reads []Access
+
+	params map[string]float64
+	arrays map[string]*ArrayDecl
+}
+
+// Param returns the value of a declared parameter.
+func (c *Checked) Param(name string) float64 { return c.params[name] }
+
+// Array returns the declaration of a named array.
+func (c *Checked) Array(name string) *ArrayDecl { return c.arrays[name] }
+
+// Check validates the program and infers its stencil shape.
+func Check(prog *Program) (*Checked, error) {
+	if prog.Dims < 1 {
+		return nil, errf(prog.Pos, "stencil %q has no dims declaration", prog.Name)
+	}
+	if len(prog.Arrays) == 0 {
+		return nil, errf(prog.Pos, "stencil %q declares no arrays", prog.Name)
+	}
+	if len(prog.Kernel) == 0 {
+		return nil, errf(prog.Pos, "stencil %q has no kernel", prog.Name)
+	}
+	c := &Checked{
+		Prog:   prog,
+		params: make(map[string]float64),
+		arrays: make(map[string]*ArrayDecl),
+	}
+	reserved := map[string]bool{"t": true, "stencil": true, "max": true, "min": true}
+	for _, n := range indexNames {
+		reserved[n] = true
+	}
+	for _, p := range prog.Params {
+		if reserved[p.Name] {
+			return nil, errf(p.Pos, "param %q shadows a reserved name", p.Name)
+		}
+		if _, dup := c.params[p.Name]; dup {
+			return nil, errf(p.Pos, "duplicate param %q", p.Name)
+		}
+		c.params[p.Name] = p.Value
+	}
+	for _, a := range prog.Arrays {
+		if reserved[a.Name] {
+			return nil, errf(a.Pos, "array %q shadows a reserved name", a.Name)
+		}
+		if _, dup := c.arrays[a.Name]; dup {
+			return nil, errf(a.Pos, "duplicate array %q", a.Name)
+		}
+		if _, dup := c.params[a.Name]; dup {
+			return nil, errf(a.Pos, "array %q collides with a param", a.Name)
+		}
+		c.arrays[a.Name] = a
+	}
+
+	// Kernel statements: every LHS must be a pure home-cell write with a
+	// common time offset, one write per array.
+	written := map[string]bool{}
+	homeSet := false
+	for _, st := range prog.Kernel {
+		lhs := st.LHS
+		if c.arrays[lhs.Array] == nil {
+			return nil, errf(lhs.Pos, "assignment to undeclared array %q", lhs.Array)
+		}
+		for i, dx := range lhs.DX {
+			if dx != 0 {
+				return nil, errf(lhs.Pos, "write to %s must target the home cell: spatial offset %d in dimension %d", lhs.Array, dx, i)
+			}
+		}
+		if !homeSet {
+			c.HomeDT = lhs.DT
+			homeSet = true
+		} else if lhs.DT != c.HomeDT {
+			return nil, errf(lhs.Pos, "all writes must share one time offset: found t%+d after t%+d", lhs.DT, c.HomeDT)
+		}
+		if written[lhs.Array] {
+			return nil, errf(lhs.Pos, "array %q written more than once per point", lhs.Array)
+		}
+		written[lhs.Array] = true
+	}
+
+	// Validate RHS expressions and collect read cells.
+	readSet := map[string]Access{}
+	for _, st := range prog.Kernel {
+		var walkErr error
+		Walk(st.RHS, func(e Expr) {
+			if walkErr != nil {
+				return
+			}
+			switch n := e.(type) {
+			case *Ref:
+				if _, ok := c.params[n.Name]; !ok {
+					walkErr = errf(n.Pos, "undefined name %q (not a param)", n.Name)
+				}
+			case *Access:
+				if c.arrays[n.Array] == nil {
+					walkErr = errf(n.Pos, "read of undeclared array %q", n.Array)
+					return
+				}
+				if n.DT >= c.HomeDT {
+					walkErr = errf(n.Pos,
+						"read of %s at t%+d violates the Pochoir shape rules: reads must be strictly earlier than the write at t%+d",
+						n.Array, n.DT, c.HomeDT)
+					return
+				}
+				readSet[accessKey(n)] = Access{Array: n.Array, DT: n.DT, DX: append([]int(nil), n.DX...)}
+			case *Binary:
+				if n.Op == '/' {
+					if d, ok := n.R.(*Num); ok && d.Value == 0 {
+						walkErr = errf(n.Pos, "division by constant zero")
+					}
+				}
+			}
+		})
+		if walkErr != nil {
+			return nil, walkErr
+		}
+	}
+
+	for _, a := range readSet {
+		c.Reads = append(c.Reads, a)
+	}
+	sort.Slice(c.Reads, func(i, j int) bool { return accessKey(&c.Reads[i]) < accessKey(&c.Reads[j]) })
+
+	// Build the shape: home cell first, then distinct space-time offsets
+	// of all reads (array identity does not matter to geometry).
+	cellSet := map[string][]int{}
+	for _, a := range c.Reads {
+		cell := append([]int{a.DT}, a.DX...)
+		cellSet[fmt.Sprint(cell)] = cell
+	}
+	cells := [][]int{append([]int{c.HomeDT}, make([]int, prog.Dims)...)}
+	var keys []string
+	for k := range cellSet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		cells = append(cells, cellSet[k])
+	}
+	sh, err := shape.New(prog.Dims, cells)
+	if err != nil {
+		return nil, errf(prog.Pos, "inferred shape invalid: %v", err)
+	}
+	c.Shape = sh
+	c.Depth = sh.Depth()
+	return c, nil
+}
+
+func accessKey(a *Access) string {
+	return fmt.Sprintf("%s|%d|%v", a.Array, a.DT, a.DX)
+}
+
+// CompileSource parses and checks in one step.
+func CompileSource(src string) (*Checked, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Check(prog)
+}

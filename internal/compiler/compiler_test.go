@@ -1,0 +1,215 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+)
+
+const heatSrc = `
+# 2D heat equation on a torus (the paper's Fig. 6 program).
+stencil heat2d {
+  dims: 2;
+  param CX = 0.125;
+  param CY = 0.125;
+  array u;
+  boundary u: periodic;
+  kernel {
+    u(t+1, x, y) = u(t, x, y)
+      + CX * (u(t, x+1, y) - 2*u(t, x, y) + u(t, x-1, y))
+      + CY * (u(t, x, y+1) - 2*u(t, x, y) + u(t, x, y-1));
+  }
+}
+`
+
+func TestLexer(t *testing.T) {
+	toks, err := lexAll("stencil h { dims: 2; } // tail comment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.String())
+	}
+	want := []string{`identifier "stencil"`, `identifier "h"`, `"{"`, `identifier "dims"`,
+		`":"`, `number "2"`, `";"`, `"}"`, "end of input"}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d: got %s, want %s", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	for _, src := range []string{"1", "0.125", "1e-3", "2.5E+10", ".5"} {
+		toks, err := lexAll(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if toks[0].kind != tokNumber {
+			t.Fatalf("%q lexed as %v", src, toks[0])
+		}
+	}
+	if _, err := lexAll("1.2.3"); err == nil {
+		// "1.2" then ".3" is valid lexing; ensure it doesn't crash.
+		t.Log("1.2.3 lexes as two numbers; fine")
+	}
+	if _, err := lexAll("@"); err == nil {
+		t.Fatal("bad character should error")
+	}
+}
+
+func TestParseHeat(t *testing.T) {
+	prog, err := Parse(heatSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "heat2d" || prog.Dims != 2 {
+		t.Fatalf("bad header: %q dims=%d", prog.Name, prog.Dims)
+	}
+	if len(prog.Params) != 2 || prog.Params[0].Name != "CX" || prog.Params[0].Value != 0.125 {
+		t.Fatalf("params: %+v", prog.Params)
+	}
+	if len(prog.Arrays) != 1 || prog.Arrays[0].Boundary != BoundaryPeriodic {
+		t.Fatalf("arrays: %+v", prog.Arrays[0])
+	}
+	if len(prog.Kernel) != 1 {
+		t.Fatalf("kernel stmts: %d", len(prog.Kernel))
+	}
+	lhs := prog.Kernel[0].LHS
+	if lhs.Array != "u" || lhs.DT != 1 || lhs.DX[0] != 0 || lhs.DX[1] != 0 {
+		t.Fatalf("lhs: %+v", lhs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing stencil": "foo bar {}",
+		"bad dims":        "stencil s { dims: 1.5; }",
+		"too many dims":   "stencil s { dims: 9; }",
+		"dup dims":        "stencil s { dims: 1; dims: 2; }",
+		"unknown decl":    "stencil s { dims: 1; frob x; }",
+		"kernel first":    "stencil s { kernel { u(t+1,x) = 1; } }",
+		"bad index name":  "stencil s { dims: 2; array u; kernel { u(t+1, y, x) = 1; } }",
+		"bad index off":   "stencil s { dims: 1; array u; kernel { u(t+1, x+1.5) = 1; } }",
+		"unterminated":    "stencil s { dims: 1;",
+		"trailing":        "stencil s { dims: 1; array u; kernel { u(t+1,x)=1; } } extra",
+		"boundary undecl": "stencil s { dims: 1; boundary u: periodic; }",
+		"max arity":       "stencil s { dims: 1; array u; kernel { u(t+1,x) = max(1,2,3); } }",
+		"expr garbage":    "stencil s { dims: 1; array u; kernel { u(t+1,x) = ; } }",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestCheckHeatShape(t *testing.T) {
+	c, err := CompileSource(heatSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.HomeDT != 1 || c.Depth != 1 {
+		t.Fatalf("homeDT=%d depth=%d", c.HomeDT, c.Depth)
+	}
+	if c.Shape.Slope(0) != 1 || c.Shape.Slope(1) != 1 {
+		t.Fatalf("slopes %v", c.Shape.Slopes())
+	}
+	if len(c.Shape.Cells) != 6 {
+		t.Fatalf("shape has %d cells, want 6: %s", len(c.Shape.Cells), c.Shape)
+	}
+	if len(c.Reads) != 5 {
+		t.Fatalf("%d distinct reads, want 5", len(c.Reads))
+	}
+	if c.Param("CX") != 0.125 {
+		t.Fatal("param lookup")
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := map[string]string{
+		"no arrays":  "stencil s { dims: 1; kernel { } }",
+		"no kernel":  "stencil s { dims: 1; array u; }",
+		"dup param":  "stencil s { dims: 1; param a = 1; param a = 2; array u; kernel { u(t+1,x)=1; } }",
+		"dup array":  "stencil s { dims: 1; array u; array u; kernel { u(t+1,x)=1; } }",
+		"reserved":   "stencil s { dims: 1; param x = 1; array u; kernel { u(t+1,x)=1; } }",
+		"collision":  "stencil s { dims: 1; param u = 1; array u; kernel { u(t+1,x)=1; } }",
+		"lhs offset": "stencil s { dims: 1; array u; kernel { u(t+1,x+1) = 1; } }",
+		"mixed home": "stencil s { dims: 1; array u; array v; kernel { u(t+1,x)=1; v(t+2,x)=1; } }",
+		"dup write":  "stencil s { dims: 1; array u; kernel { u(t+1,x)=1; u(t+1,x)=2; } }",
+		"undecl arr": "stencil s { dims: 1; array u; kernel { u(t+1,x) = v(t,x); } }",
+		"wrong lhs":  "stencil s { dims: 1; array u; kernel { v(t+1,x) = 1; } }",
+		"undef name": "stencil s { dims: 1; array u; kernel { u(t+1,x) = CX; } }",
+		"future":     "stencil s { dims: 1; array u; kernel { u(t+1,x) = u(t+1,x-1); } }",
+		"same time":  "stencil s { dims: 1; array u; kernel { u(t,x) = u(t,x-1); } }",
+		"div zero":   "stencil s { dims: 1; array u; kernel { u(t+1,x) = u(t,x)/0; } }",
+	}
+	for name, src := range cases {
+		if _, err := CompileSource(src); err == nil {
+			t.Errorf("%s: expected check error", name)
+		}
+	}
+}
+
+func TestCheckErrorHasPosition(t *testing.T) {
+	_, err := CompileSource("stencil s {\n  dims: 1;\n  array u;\n  kernel {\n    u(t+1,x) = u(t+2,x);\n  }\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	ce, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("want *Error, got %T: %v", err, err)
+	}
+	if ce.Pos.Line != 5 {
+		t.Fatalf("error at %v, want line 5: %v", ce.Pos, ce)
+	}
+	if !strings.Contains(ce.Error(), "5:") {
+		t.Fatalf("rendered error lacks position: %v", ce)
+	}
+}
+
+func TestBoundaryKinds(t *testing.T) {
+	src := `stencil s { dims: 1;
+	  array a; array b; array c; array d;
+	  boundary a: periodic; boundary b: clamp; boundary c: constant -2.5;
+	  kernel { a(t+1,x) = a(t,x)+b(t,x)+c(t,x)+d(t,x); } }`
+	c, err := CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Array("a").Boundary != BoundaryPeriodic ||
+		c.Array("b").Boundary != BoundaryClamp ||
+		c.Array("c").Boundary != BoundaryConstant || c.Array("c").Constant != -2.5 ||
+		c.Array("d").Boundary != BoundaryZero {
+		t.Fatalf("boundaries wrong: %+v %+v %+v %+v", c.Array("a"), c.Array("b"), c.Array("c"), c.Array("d"))
+	}
+	for _, k := range []BoundaryKind{BoundaryZero, BoundaryPeriodic, BoundaryConstant, BoundaryClamp} {
+		if k.String() == "" {
+			t.Fatal("BoundaryKind.String empty")
+		}
+	}
+}
+
+func TestDepth2Inference(t *testing.T) {
+	src := `stencil wave { dims: 1; param C = 0.25; array u;
+	  kernel { u(t+1,x) = 2*u(t,x) - u(t-1,x) + C*(u(t,x+1)-2*u(t,x)+u(t,x-1)); } }`
+	c, err := CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Depth != 2 {
+		t.Fatalf("depth %d, want 2", c.Depth)
+	}
+	if c.Shape.Slope(0) != 1 {
+		t.Fatalf("slope %d", c.Shape.Slope(0))
+	}
+}
+
+func TestStyleString(t *testing.T) {
+	if SplitPointer.String() != "split-pointer" || SplitMacroShadow.String() != "split-macro-shadow" {
+		t.Fatal("style names")
+	}
+}

@@ -1,0 +1,149 @@
+package compiler
+
+import (
+	"fmt"
+
+	"pochoir"
+)
+
+// Instance is an executable stencil built from a checked specification:
+// the Phase-1 path. The kernel is evaluated directly from the expression
+// tree through the checked Array API, so a specification that runs here is
+// Pochoir-compliant by construction — the compiled Phase-2 code is then
+// guaranteed to behave identically (the Pochoir Guarantee).
+type Instance struct {
+	Checked *Checked
+	Stencil *pochoir.Stencil[float64]
+	Arrays  map[string]*pochoir.Array[float64]
+}
+
+// NewInstance allocates arrays of the given spatial sizes, registers
+// boundaries per the specification, and assembles the stencil object.
+func (c *Checked) NewInstance(sizes ...int) (*Instance, error) {
+	if len(sizes) != c.Prog.Dims {
+		return nil, fmt.Errorf("compiler: stencil %q has %d dims, got %d sizes",
+			c.Prog.Name, c.Prog.Dims, len(sizes))
+	}
+	inst := &Instance{
+		Checked: c,
+		Stencil: pochoir.New[float64](c.Shape),
+		Arrays:  make(map[string]*pochoir.Array[float64]),
+	}
+	for _, decl := range c.Prog.Arrays {
+		a, err := pochoir.NewArray[float64](c.Depth, sizes...)
+		if err != nil {
+			return nil, err
+		}
+		switch decl.Boundary {
+		case BoundaryPeriodic:
+			a.RegisterBoundary(pochoir.PeriodicBoundary[float64]())
+		case BoundaryClamp:
+			a.RegisterBoundary(pochoir.NeumannBoundary[float64]())
+		case BoundaryConstant:
+			a.RegisterBoundary(pochoir.ConstBoundary(decl.Constant))
+		default:
+			a.RegisterBoundary(pochoir.ZeroBoundary[float64]())
+		}
+		if err := inst.Stencil.RegisterArray(a); err != nil {
+			return nil, err
+		}
+		inst.Arrays[decl.Name] = a
+	}
+	return inst, nil
+}
+
+// evalFn evaluates one expression at a kernel point.
+type evalFn func(t int, x []int) float64
+
+// compileExpr lowers an expression tree to nested closures.
+func (inst *Instance) compileExpr(e Expr) evalFn {
+	switch n := e.(type) {
+	case *Num:
+		v := n.Value
+		return func(int, []int) float64 { return v }
+	case *Ref:
+		v := inst.Checked.Param(n.Name)
+		return func(int, []int) float64 { return v }
+	case *Access:
+		arr := inst.Arrays[n.Array]
+		dt := n.DT
+		dx := append([]int(nil), n.DX...)
+		d := len(dx)
+		return func(t int, x []int) float64 {
+			idx := make([]int, d)
+			for i := range idx {
+				idx[i] = x[i] + dx[i]
+			}
+			return arr.Get(t+dt, idx...)
+		}
+	case *Unary:
+		x := inst.compileExpr(n.X)
+		return func(t int, xs []int) float64 { return -x(t, xs) }
+	case *Binary:
+		l, r := inst.compileExpr(n.L), inst.compileExpr(n.R)
+		switch n.Op {
+		case '+':
+			return func(t int, xs []int) float64 { return l(t, xs) + r(t, xs) }
+		case '-':
+			return func(t int, xs []int) float64 { return l(t, xs) - r(t, xs) }
+		case '*':
+			return func(t int, xs []int) float64 { return l(t, xs) * r(t, xs) }
+		default:
+			return func(t int, xs []int) float64 { return l(t, xs) / r(t, xs) }
+		}
+	case *Call:
+		a, b := inst.compileExpr(n.Args[0]), inst.compileExpr(n.Args[1])
+		if n.Name == "max" {
+			return func(t int, xs []int) float64 {
+				va, vb := a(t, xs), b(t, xs)
+				if va >= vb {
+					return va
+				}
+				return vb
+			}
+		}
+		return func(t int, xs []int) float64 {
+			va, vb := a(t, xs), b(t, xs)
+			if va <= vb {
+				return va
+			}
+			return vb
+		}
+	}
+	panic(fmt.Sprintf("compiler: unknown expression node %T", e))
+}
+
+// Kernel returns the interpreted point kernel.
+func (inst *Instance) Kernel() pochoir.Kernel {
+	type stmt struct {
+		arr *pochoir.Array[float64]
+		rhs evalFn
+	}
+	var stmts []stmt
+	for _, st := range inst.Checked.Prog.Kernel {
+		stmts = append(stmts, stmt{
+			arr: inst.Arrays[st.LHS.Array],
+			rhs: inst.compileExpr(st.RHS),
+		})
+	}
+	homeDT := inst.Checked.HomeDT
+	return func(t int, x []int) {
+		for _, s := range stmts {
+			s.arr.Set(t+homeDT, s.rhs(t, x), x...)
+		}
+	}
+}
+
+// Run executes the interpreted stencil for steps time steps.
+func (inst *Instance) Run(steps int, opts pochoir.Options) error {
+	inst.Stencil.SetOptions(opts)
+	return inst.Stencil.Run(steps, inst.Kernel())
+}
+
+// RunChecked executes with the Pochoir Guarantee enforced: any access
+// outside the inferred shape is reported. Because the shape is inferred
+// from these very accesses this should never fire; it exists to guard the
+// compiler itself and is exercised by the test suite.
+func (inst *Instance) RunChecked(steps int) error {
+	return inst.Stencil.RunChecked(steps, inst.Kernel())
+}

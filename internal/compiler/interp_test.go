@@ -1,0 +1,187 @@
+package compiler
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pochoir"
+)
+
+// TestInterpMatchesHandWritten: the interpreted DSL heat equation must
+// match a hand-written reference loop bit for bit.
+func TestInterpMatchesHandWritten(t *testing.T) {
+	c, err := CompileSource(heatSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const X, Y, steps = 33, 29, 24
+	inst, err := c.NewInstance(X, Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	init := make([]float64, X*Y)
+	for i := range init {
+		init[i] = rng.Float64()
+	}
+	u := inst.Arrays["u"]
+	if err := u.CopyIn(0, init); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(steps, pochoir.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, X*Y)
+	if err := u.CopyOut(steps, got); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference loops. The expression tree order matches the DSL source:
+	// u + CX*(right - 2u + left) + CY*(up - 2u + down).
+	cur := append([]float64(nil), init...)
+	next := make([]float64, X*Y)
+	at := func(g []float64, x, y int) float64 {
+		x = ((x % X) + X) % X
+		y = ((y % Y) + Y) % Y
+		return g[x*Y+y]
+	}
+	for s := 0; s < steps; s++ {
+		for x := 0; x < X; x++ {
+			for y := 0; y < Y; y++ {
+				cc := at(cur, x, y)
+				next[x*Y+y] = cc +
+					0.125*(at(cur, x+1, y)-2*cc+at(cur, x-1, y)) +
+					0.125*(at(cur, x, y+1)-2*cc+at(cur, x, y-1))
+			}
+		}
+		cur, next = next, cur
+	}
+	for i := range got {
+		if got[i] != cur[i] {
+			t.Fatalf("mismatch at %d: %g vs %g", i, got[i], cur[i])
+		}
+	}
+}
+
+// TestInterpRunChecked: the inferred shape must accept its own kernel —
+// the Pochoir Guarantee closing the loop.
+func TestInterpRunChecked(t *testing.T) {
+	c, err := CompileSource(heatSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := c.NewInstance(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.RunChecked(6); err != nil {
+		t.Fatalf("self-inferred shape rejected its kernel: %v", err)
+	}
+}
+
+// TestInterpMaxMinAndMultiArray exercises calls, multiple arrays, multiple
+// statements, and constant boundaries.
+func TestInterpMaxMinAndMultiArray(t *testing.T) {
+	src := `stencil mm { dims: 1;
+	  param K = 10;
+	  array a; array b;
+	  boundary a: constant -1e30; boundary b: constant -1e30;
+	  kernel {
+	    a(t+1, x) = max(a(t, x-1), b(t, x));
+	    b(t+1, x) = min(b(t, x+1), K);
+	  } }`
+	c, err := CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const N, steps = 40, 12
+	inst, err := c.NewInstance(N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, bv := inst.Arrays["a"], inst.Arrays["b"]
+	for i := 0; i < N; i++ {
+		av.Set(0, float64(i%7), i)
+		bv.Set(0, float64((i*3)%11), i)
+	}
+	if err := inst.Run(steps, pochoir.Options{Serial: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference.
+	ra := make([]float64, N)
+	rb := make([]float64, N)
+	for i := 0; i < N; i++ {
+		ra[i] = float64(i % 7)
+		rb[i] = float64((i * 3) % 11)
+	}
+	atc := func(g []float64, i int) float64 {
+		if i < 0 || i >= N {
+			return -1e30
+		}
+		return g[i]
+	}
+	for s := 0; s < steps; s++ {
+		na, nb := make([]float64, N), make([]float64, N)
+		for i := 0; i < N; i++ {
+			na[i] = math.Max(atc(ra, i-1), atc(rb, i))
+			nb[i] = math.Min(atc(rb, i+1), 10)
+		}
+		ra, rb = na, nb
+	}
+	for i := 0; i < N; i++ {
+		if av.Get(steps, i) != ra[i] || bv.Get(steps, i) != rb[i] {
+			t.Fatalf("mismatch at %d: a %g/%g b %g/%g", i,
+				av.Get(steps, i), ra[i], bv.Get(steps, i), rb[i])
+		}
+	}
+}
+
+func TestNewInstanceSizeMismatch(t *testing.T) {
+	c, err := CompileSource(heatSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NewInstance(16); err == nil {
+		t.Fatal("wrong size count should error")
+	}
+}
+
+// TestInterpParallelDeterminism: interpreted execution is deterministic
+// under the parallel decomposition too.
+func TestInterpParallelDeterminism(t *testing.T) {
+	run := func(opts pochoir.Options) []float64 {
+		c, err := CompileSource(heatSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := c.NewInstance(40, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		init := make([]float64, 40*40)
+		rng := rand.New(rand.NewSource(3))
+		for i := range init {
+			init[i] = rng.Float64()
+		}
+		if err := inst.Arrays["u"].CopyIn(0, init); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Run(20, opts); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 40*40)
+		if err := inst.Arrays["u"].CopyOut(20, out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(pochoir.Options{Serial: true})
+	parallel := run(pochoir.Options{Grain: 1})
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("parallel interp diverged at %d", i)
+		}
+	}
+}

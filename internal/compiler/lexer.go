@@ -1,0 +1,166 @@
+package compiler
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single-character punctuation/operator
+)
+
+type token struct {
+	kind tokKind
+	pos  Pos
+	text string
+	num  float64
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	case tokNumber:
+		return fmt.Sprintf("number %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer tokenizes a stencil specification. Comments run from '#' or '//'
+// to end of line.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentCont(l.peekByte()) {
+			l.advance()
+		}
+		return token{kind: tokIdent, pos: pos, text: l.src[start:l.off]}, nil
+	case unicode.IsDigit(rune(c)) || (c == '.' && l.off+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.off+1]))):
+		start := l.off
+		seenDot, seenExp := false, false
+		for l.off < len(l.src) {
+			c := l.peekByte()
+			switch {
+			case unicode.IsDigit(rune(c)):
+				l.advance()
+				continue
+			case c == '.' && !seenDot && !seenExp:
+				seenDot = true
+				l.advance()
+				continue
+			case (c == 'e' || c == 'E') && !seenExp:
+				seenExp = true
+				l.advance()
+				if s := l.peekByte(); s == '+' || s == '-' {
+					l.advance()
+				}
+				continue
+			}
+			break
+		}
+		text := l.src[start:l.off]
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, errf(pos, "malformed number %q", text)
+		}
+		return token{kind: tokNumber, pos: pos, text: text, num: v}, nil
+	case strings.IndexByte("{}();:,=+-*/", c) >= 0:
+		l.advance()
+		return token{kind: tokPunct, pos: pos, text: string(c)}, nil
+	}
+	return token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+// lexAll tokenizes the whole input (used by the parser, which needs one
+// token of lookahead).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package core implements the paper's primary contribution: the TRAP
+// cache-oblivious parallel stencil algorithm with hyperspace cuts (§3),
+// together with the STRAP baseline (Frigo–Strumpen-style serial space cuts)
+// used for the Fig. 9/10 comparisons, base-case coarsening (§4), the
+// interior/boundary code-clone dispatch (§4), and the unified
+// periodic/nonperiodic scheme via virtual coordinates (§4).
+//
+// The engine is purely geometric: it decomposes space-time into zoids and
+// invokes user-supplied base-case functions on them. The stencil-specific
+// work — both the generic checked Phase-1 executor and the specialized
+// Phase-2 kernels — lives behind the BaseFunc interface, so the same engine
+// runs every stencil, every dimensionality, and every boundary regime.
+package core
+
+import (
+	"fmt"
+
+	"pochoir/internal/sched"
+	"pochoir/internal/zoid"
+)
+
+// BaseFunc executes the base case of the recursion over zoid z: it must
+// apply the stencil kernel to every space-time point of z, walking time
+// steps in order and letting the spatial bounds advance by the zoid's
+// slopes after each step (Fig. 2, lines 20–28).
+//
+// The interior clone receives only zoids whose kernel applications never
+// touch an off-domain or wrapped grid point, so it may use unchecked
+// accesses; the boundary clone receives everything else and must reduce
+// virtual coordinates modulo the grid size and route off-domain accesses
+// through the boundary function.
+type BaseFunc func(z zoid.Zoid)
+
+// Algorithm selects the decomposition strategy.
+type Algorithm int
+
+const (
+	// TRAP cuts as many dimensions as possible simultaneously
+	// (hyperspace cuts), processing the 3^k subzoids in k+1 parallel
+	// steps (Lemma 1).
+	TRAP Algorithm = iota
+	// STRAP applies parallel space cuts one dimension at a time, as in
+	// Frigo and Strumpen's parallel algorithm, incurring 2 parallel
+	// steps per cut dimension.
+	STRAP
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case TRAP:
+		return "TRAP"
+	case STRAP:
+		return "STRAP"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Walker runs a trapezoidal-decomposition stencil computation.
+type Walker struct {
+	NDims    int
+	Slopes   [zoid.MaxDims]int  // stencil slopes sigma_i
+	Reach    [zoid.MaxDims]int  // max |spatial offset| per dim (interior test)
+	Sizes    [zoid.MaxDims]int  // spatial grid extents
+	Periodic [zoid.MaxDims]bool // dims wrapped on a torus
+
+	Interior BaseFunc // fast clone; nil falls back to Boundary
+	Boundary BaseFunc // checked clone; required
+
+	// Coarsening (§4). A zero TimeCutoff means 1 (recurse to single time
+	// steps); zero SpaceCutoff entries mean uncoarsened space cuts.
+	TimeCutoff  int
+	SpaceCutoff [zoid.MaxDims]int
+
+	// Grain is the minimum approximate zoid volume (height x product of
+	// widths) for which subzoids are processed on fresh goroutines.
+	// Zero means DefaultGrain. Serial disables parallelism entirely.
+	Grain  int64
+	Serial bool
+
+	Algorithm Algorithm
+}
+
+// DefaultGrain is the spawn threshold used when Walker.Grain is zero.
+// Subproblems smaller than this run serially on the current goroutine;
+// at ~10^4 points the per-spawn overhead (~1–2 microseconds for a goroutine
+// plus WaitGroup) is well under 1% of the base-case work.
+const DefaultGrain = 1 << 14
+
+// Validate checks the configuration for obvious errors.
+func (w *Walker) Validate() error {
+	if w.NDims < 1 || w.NDims > zoid.MaxDims {
+		return fmt.Errorf("core: NDims=%d out of range [1,%d]", w.NDims, zoid.MaxDims)
+	}
+	if w.Boundary == nil {
+		return fmt.Errorf("core: Boundary base function is required")
+	}
+	for i := 0; i < w.NDims; i++ {
+		if w.Sizes[i] <= 0 {
+			return fmt.Errorf("core: size of dimension %d is %d", i, w.Sizes[i])
+		}
+		if w.Slopes[i] < 0 {
+			return fmt.Errorf("core: negative slope in dimension %d", i)
+		}
+		if w.Reach[i] < w.Slopes[i] {
+			// Reach defaults to slope when unset; a reach below the
+			// slope is impossible for a valid shape.
+			w.Reach[i] = w.Slopes[i]
+		}
+	}
+	return nil
+}
+
+// Run executes the stencil for home times t in [t0, t1) over the full
+// spatial grid, decomposing with the configured algorithm.
+func (w *Walker) Run(t0, t1 int) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	if t1 <= t0 {
+		return nil
+	}
+	z := zoid.Box(t0, t1, w.Sizes[:w.NDims])
+	w.walk(z)
+	return nil
+}
+
+// timeCutoff returns the effective base-case height threshold.
+func (w *Walker) timeCutoff() int {
+	if w.TimeCutoff < 1 {
+		return 1
+	}
+	return w.TimeCutoff
+}
+
+// CutSet collects the hyperspace-cut candidates for z: every dimension
+// along which a parallel space cut (or, for a still-complete periodic
+// dimension, a circle cut) is allowed. It is exported so analytical
+// replays of the decomposition (internal/cilkview, internal/cachesim) make
+// exactly the decisions the execution engine makes.
+func (w *Walker) CutSet(z zoid.Zoid) []zoid.Cut {
+	return w.cuttable(z, nil)
+}
+
+// TimeCutoffEffective returns the base-case height threshold in effect.
+func (w *Walker) TimeCutoffEffective() int { return w.timeCutoff() }
+
+// cuttable collects hyperspace-cut candidates into buf.
+func (w *Walker) cuttable(z zoid.Zoid, buf []zoid.Cut) []zoid.Cut {
+	buf = buf[:0]
+	for i := 0; i < w.NDims; i++ {
+		s := w.Slopes[i]
+		if w.Periodic[i] && z.IsFullCircle(i, w.Sizes[i]) {
+			if z.CanCircleCut(i, s, w.Sizes[i], w.SpaceCutoff[i]) {
+				buf = append(buf, zoid.Cut{Dim: i, Slope: s, Kind: zoid.CutCircle, Size: w.Sizes[i]})
+			}
+			continue
+		}
+		if z.CanSpaceCut(i, s, w.SpaceCutoff[i]) {
+			buf = append(buf, zoid.Cut{Dim: i, Slope: s, Kind: zoid.CutTrisect})
+		}
+	}
+	return buf
+}
+
+// approxVolume returns a cheap overestimate of the zoid's point count, used
+// only for the spawn-grain decision.
+func (w *Walker) approxVolume(z zoid.Zoid) int64 {
+	v := int64(z.Height())
+	for i := 0; i < w.NDims; i++ {
+		wd := z.Width(i)
+		if wd <= 0 {
+			return 0
+		}
+		v *= int64(wd)
+	}
+	return v
+}
+
+func (w *Walker) grain() int64 {
+	if w.Grain > 0 {
+		return w.Grain
+	}
+	return DefaultGrain
+}
+
+// walk recursively decomposes and executes z (Fig. 2).
+func (w *Walker) walk(z zoid.Zoid) {
+	var cutBuf [zoid.MaxDims]zoid.Cut
+	cuts := w.cuttable(z, cutBuf[:0])
+	if len(cuts) > 0 {
+		switch w.Algorithm {
+		case STRAP:
+			w.spaceCutSerialDims(z, cuts[0])
+		default:
+			w.hyperspaceCut(z, cuts)
+		}
+		return
+	}
+	if h := z.Height(); h > w.timeCutoff() {
+		lower, upper := z.TimeCut()
+		w.walk(lower)
+		w.walk(upper)
+		return
+	}
+	w.base(z)
+}
+
+// hyperspaceCut processes all subzoids level by level, each level in
+// parallel (Fig. 2, lines 11–15).
+func (w *Walker) hyperspaceCut(z zoid.Zoid, cuts []zoid.Cut) {
+	lv := zoid.HyperspaceCut(z, cuts)
+	parallel := !w.Serial && w.approxVolume(z) >= w.grain()
+	for _, level := range lv.Zoids {
+		w.walkAll(level, parallel)
+	}
+}
+
+// spaceCutSerialDims is the STRAP strategy: cut only along one dimension,
+// process its pieces in the 2 parallel steps of Fig. 7, and let the
+// recursion discover further cuttable dimensions one at a time.
+func (w *Walker) spaceCutSerialDims(z zoid.Zoid, c zoid.Cut) {
+	parallel := !w.Serial && w.approxVolume(z) >= w.grain()
+	if c.Kind == zoid.CutCircle {
+		sub, _ := z.CircleCut(c.Dim, c.Slope, c.Size)
+		w.walkAll(sub[0:2], parallel) // blacks
+		w.walkAll(sub[2:4], parallel) // grays
+		return
+	}
+	sub, upright := z.SpaceCut(c.Dim, c.Slope)
+	if upright {
+		w.walkAll([]zoid.Zoid{sub[0], sub[2]}, parallel)
+		w.walk(sub[1])
+		return
+	}
+	w.walk(sub[1])
+	w.walkAll([]zoid.Zoid{sub[0], sub[2]}, parallel)
+}
+
+// walkAll processes a set of mutually independent zoids.
+func (w *Walker) walkAll(zs []zoid.Zoid, parallel bool) {
+	switch len(zs) {
+	case 0:
+	case 1:
+		w.walk(zs[0])
+	case 2:
+		sched.Do2(parallel, func() { w.walk(zs[0]) }, func() { w.walk(zs[1]) })
+	default:
+		fns := make([]func(), len(zs))
+		for i := range zs {
+			zz := zs[i]
+			fns[i] = func() { w.walk(zz) }
+		}
+		sched.DoAll(parallel, fns)
+	}
+}
+
+// base dispatches z to the interior or boundary clone (§4, code cloning).
+func (w *Walker) base(z zoid.Zoid) {
+	if w.Interior != nil && w.IsInterior(z) {
+		w.Interior(z)
+		return
+	}
+	w.Boundary(z)
+}
+
+// IsInterior reports whether every kernel application within z accesses
+// only true in-domain grid points, so that the fast interior clone may be
+// used: along each dimension the zoid's lifetime extremes, widened by the
+// stencil's reach, must stay inside [0, size). Zoids in virtual (wrapped)
+// coordinates fail this test and take the boundary clone, which performs
+// the modulo reduction — this is what unifies periodic and nonperiodic
+// boundary handling (§4).
+func (w *Walker) IsInterior(z zoid.Zoid) bool {
+	for i := 0; i < w.NDims; i++ {
+		minLo, maxHi := z.Extremes(i)
+		if minLo-w.Reach[i] < 0 || maxHi+w.Reach[i] > w.Sizes[i] {
+			return false
+		}
+	}
+	return true
+}

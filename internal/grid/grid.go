@@ -1,0 +1,254 @@
+// Package grid implements Pochoir arrays (§2): a d-dimensional spatial grid
+// crossed with a small circular temporal buffer of depth k+1, where k is the
+// depth of the stencil shape the array participates in.
+//
+// The array provides two access paths, mirroring the paper's two kernel
+// clones (§4, "Handling boundary conditions by code cloning"):
+//
+//   - the checked path (Get/Set and their fixed-arity variants) consults the
+//     registered boundary function whenever a spatial index falls outside
+//     the computing domain, and optionally enforces the declared stencil
+//     shape — this is the Phase-1 "template library" behaviour, including
+//     the Pochoir Guarantee check;
+//   - the unchecked interior path (Idx and direct Slot access) performs
+//     only address arithmetic and is what Phase-2 generated code and the
+//     hand-specialized kernels use inside interior zoids.
+package grid
+
+import (
+	"fmt"
+
+	"pochoir/internal/shape"
+)
+
+// Boundary supplies a value for an access that falls outside the computing
+// domain of array a: t is the time coordinate and idx the off-domain spatial
+// coordinates. It corresponds to Pochoir_Boundary_dimD.
+type Boundary[T any] func(a *Array[T], t int, idx []int) T
+
+// Array is a Pochoir array: |sizes[0]| x ... x |sizes[d-1]| spatial points,
+// each with slots = depth+1 time copies reused modulo slots as the
+// computation proceeds. The last spatial dimension is unit-stride.
+type Array[T any] struct {
+	ndims   int
+	sizes   []int
+	strides []int
+	total   int // product of sizes: points per time slot
+	slots   int // depth + 1
+	data    []T
+
+	boundary Boundary[T]
+
+	// Shape-compliance checking (the Pochoir Guarantee, Phase 1).
+	checkShape *shape.Shape
+	homeT      int
+	homeX      []int
+	checkErr   error
+}
+
+// NewArray allocates a Pochoir array with the given stencil depth (the
+// temporal buffer holds depth+1 slots) and spatial sizes. Sizes are listed
+// from the slowest-varying dimension to the unit-stride dimension, matching
+// the index order of Get/Set.
+func NewArray[T any](depth int, sizes ...int) (*Array[T], error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("grid: depth must be >= 1, got %d", depth)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("grid: need at least one spatial dimension")
+	}
+	total := 1
+	for i, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("grid: size of dimension %d is %d, must be positive", i, s)
+		}
+		total *= s
+	}
+	a := &Array[T]{
+		ndims:   len(sizes),
+		sizes:   append([]int(nil), sizes...),
+		strides: make([]int, len(sizes)),
+		total:   total,
+		slots:   depth + 1,
+		data:    make([]T, total*(depth+1)),
+	}
+	st := 1
+	for i := a.ndims - 1; i >= 0; i-- {
+		a.strides[i] = st
+		st *= a.sizes[i]
+	}
+	return a, nil
+}
+
+// MustNewArray is NewArray, panicking on error.
+func MustNewArray[T any](depth int, sizes ...int) *Array[T] {
+	a, err := NewArray[T](depth, sizes...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// NDims returns the number of spatial dimensions.
+func (a *Array[T]) NDims() int { return a.ndims }
+
+// Size returns the extent of spatial dimension i (same order as Get/Set).
+func (a *Array[T]) Size(i int) int { return a.sizes[i] }
+
+// Sizes returns a copy of all spatial extents.
+func (a *Array[T]) Sizes() []int { return append([]int(nil), a.sizes...) }
+
+// Stride returns the linear stride of spatial dimension i within a slot.
+func (a *Array[T]) Stride(i int) int { return a.strides[i] }
+
+// Slots returns the number of temporal copies (stencil depth + 1).
+func (a *Array[T]) Slots() int { return a.slots }
+
+// PointsPerSlot returns the number of spatial points in one time slot.
+func (a *Array[T]) PointsPerSlot() int { return a.total }
+
+// Slot returns the backing storage of time step t's slot (t taken modulo
+// the number of slots). Phase-2 specialized kernels walk this directly.
+func (a *Array[T]) Slot(t int) []T {
+	s := t % a.slots
+	if s < 0 {
+		s += a.slots
+	}
+	return a.data[s*a.total : (s+1)*a.total]
+}
+
+// RegisterBoundary associates the boundary function b with the array.
+// Each array has exactly one boundary function at a time; registering a new
+// one replaces the old (§2, Register_Boundary).
+func (a *Array[T]) RegisterBoundary(b Boundary[T]) { a.boundary = b }
+
+// HasBoundary reports whether a boundary function has been registered.
+func (a *Array[T]) HasBoundary() bool { return a.boundary != nil }
+
+// inDomain reports whether idx lies inside the spatial domain.
+func (a *Array[T]) inDomain(idx []int) bool {
+	for i, x := range idx {
+		if x < 0 || x >= a.sizes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Idx returns the linear offset of the in-domain spatial index idx within a
+// slot. It performs no checking.
+func (a *Array[T]) Idx(idx []int) int {
+	off := 0
+	for i, x := range idx {
+		off += x * a.strides[i]
+	}
+	return off
+}
+
+// Get returns the value at time t and spatial index idx. Off-domain
+// accesses are served by the registered boundary function; it is an error
+// (panic) to read off-domain without one. When shape checking is active the
+// access offset is verified against the declared stencil shape.
+func (a *Array[T]) Get(t int, idx ...int) T {
+	if a.checkShape != nil {
+		a.verify(t, idx)
+	}
+	if !a.inDomain(idx) {
+		if a.boundary == nil {
+			panic(fmt.Sprintf("grid: off-domain read at t=%d idx=%v with no boundary function registered", t, idx))
+		}
+		return a.boundary(a, t, idx)
+	}
+	return a.Slot(t)[a.Idx(idx)]
+}
+
+// Set stores v at time t and spatial index idx, which must be in-domain.
+func (a *Array[T]) Set(t int, v T, idx ...int) {
+	if a.checkShape != nil {
+		a.verify(t, idx)
+	}
+	if !a.inDomain(idx) {
+		panic(fmt.Sprintf("grid: off-domain write at t=%d idx=%v", t, idx))
+	}
+	a.Slot(t)[a.Idx(idx)] = v
+}
+
+// GetClamped returns the value at t with each spatial coordinate clamped to
+// the domain; a convenience for Neumann-style boundary functions.
+func (a *Array[T]) GetClamped(t int, idx ...int) T {
+	off := 0
+	for i, x := range idx {
+		if x < 0 {
+			x = 0
+		} else if x >= a.sizes[i] {
+			x = a.sizes[i] - 1
+		}
+		off += x * a.strides[i]
+	}
+	return a.Slot(t)[off]
+}
+
+// GetPeriodic returns the value at t with each spatial coordinate wrapped
+// modulo the domain; a convenience for periodic boundary functions.
+func (a *Array[T]) GetPeriodic(t int, idx ...int) T {
+	off := 0
+	for i, x := range idx {
+		n := a.sizes[i]
+		x %= n
+		if x < 0 {
+			x += n
+		}
+		off += x * a.strides[i]
+	}
+	return a.Slot(t)[off]
+}
+
+// Fill sets every point of time step t's slot to v.
+func (a *Array[T]) Fill(t int, v T) {
+	s := a.Slot(t)
+	for i := range s {
+		s[i] = v
+	}
+}
+
+// CopyIn copies src (one full slot's worth of points, linearized in index
+// order) into time step t's slot — the copy-in half of Pochoir's
+// copy-in/copy-out data policy (§2, Rationale).
+func (a *Array[T]) CopyIn(t int, src []T) error {
+	if len(src) != a.total {
+		return fmt.Errorf("grid: CopyIn got %d points, want %d", len(src), a.total)
+	}
+	copy(a.Slot(t), src)
+	return nil
+}
+
+// CopyOut copies time step t's slot into dst.
+func (a *Array[T]) CopyOut(t int, dst []T) error {
+	if len(dst) != a.total {
+		return fmt.Errorf("grid: CopyOut got %d points, want %d", len(dst), a.total)
+	}
+	copy(dst, a.Slot(t))
+	return nil
+}
+
+// Sprint pretty-prints time step t's slot, one line per row of the
+// innermost dimension — the analogue of the paper's overloaded "cout << u".
+func (a *Array[T]) Sprint(t int) string {
+	var b []byte
+	inner := a.sizes[a.ndims-1]
+	s := a.Slot(t)
+	for off := 0; off < a.total; off += inner {
+		// Blank line between higher-dimensional blocks.
+		if off > 0 && a.ndims >= 2 && off%(inner*a.sizes[a.ndims-2]) == 0 {
+			b = append(b, '\n')
+		}
+		for i := 0; i < inner; i++ {
+			if i > 0 {
+				b = append(b, ' ')
+			}
+			b = fmt.Appendf(b, "%v", s[off+i])
+		}
+		b = append(b, '\n')
+	}
+	return string(b)
+}

@@ -1,0 +1,260 @@
+package grid
+
+import (
+	"testing"
+
+	"pochoir/internal/shape"
+)
+
+func TestNewArrayValidation(t *testing.T) {
+	if _, err := NewArray[float64](0, 4); err == nil {
+		t.Error("depth 0 should error")
+	}
+	if _, err := NewArray[float64](1); err == nil {
+		t.Error("no dims should error")
+	}
+	if _, err := NewArray[float64](1, 4, 0); err == nil {
+		t.Error("zero size should error")
+	}
+	a, err := NewArray[float64](2, 3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NDims() != 3 || a.Slots() != 3 || a.PointsPerSlot() != 60 {
+		t.Fatalf("bad array geometry: ndims=%d slots=%d pts=%d", a.NDims(), a.Slots(), a.PointsPerSlot())
+	}
+	if a.Stride(2) != 1 || a.Stride(1) != 5 || a.Stride(0) != 20 {
+		t.Fatalf("bad strides %d %d %d", a.Stride(0), a.Stride(1), a.Stride(2))
+	}
+}
+
+func TestGetSetRoundTrip(t *testing.T) {
+	a := MustNewArray[float64](1, 4, 6)
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 6; y++ {
+			a.Set(0, float64(10*x+y), x, y)
+			a.Set(1, float64(100*x+y), x, y)
+		}
+	}
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 6; y++ {
+			if got := a.Get(0, x, y); got != float64(10*x+y) {
+				t.Fatalf("Get(0,%d,%d) = %v", x, y, got)
+			}
+			if got := a.Get(1, x, y); got != float64(100*x+y) {
+				t.Fatalf("Get(1,%d,%d) = %v", x, y, got)
+			}
+		}
+	}
+}
+
+func TestTemporalCircularBuffer(t *testing.T) {
+	a := MustNewArray[int](1, 3) // 2 slots
+	a.Set(0, 10, 1)
+	a.Set(1, 11, 1)
+	// Time 2 aliases slot 0, time 3 aliases slot 1.
+	if a.Get(2, 1) != 10 || a.Get(3, 1) != 11 {
+		t.Fatal("time indices should wrap modulo slots")
+	}
+	a.Set(2, 20, 1)
+	if a.Get(0, 1) != 20 {
+		t.Fatal("writing t=2 should overwrite slot 0")
+	}
+	// Negative time wraps too (virtual time during warm-up).
+	if a.Get(-2, 1) != 20 {
+		t.Fatal("negative time should wrap")
+	}
+}
+
+func TestBoundaryFunctionInvocation(t *testing.T) {
+	a := MustNewArray[float64](1, 5)
+	calls := 0
+	a.RegisterBoundary(func(arr *Array[float64], tt int, idx []int) float64 {
+		calls++
+		return -1
+	})
+	a.Set(0, 7, 4)
+	if got := a.Get(0, 4); got != 7 || calls != 0 {
+		t.Fatal("in-domain access must not call boundary")
+	}
+	if got := a.Get(0, 5); got != -1 || calls != 1 {
+		t.Fatalf("off-domain access should call boundary: got %v calls=%d", got, calls)
+	}
+	if got := a.Get(0, -1); got != -1 || calls != 2 {
+		t.Fatal("negative index is off-domain")
+	}
+}
+
+func TestOffDomainWithoutBoundaryPanics(t *testing.T) {
+	a := MustNewArray[float64](1, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Get(0, 5)
+}
+
+func TestOffDomainWritePanics(t *testing.T) {
+	a := MustNewArray[float64](1, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Set(0, 1, -1)
+}
+
+func TestGetPeriodicAndClamped(t *testing.T) {
+	a := MustNewArray[int](1, 4)
+	for x := 0; x < 4; x++ {
+		a.Set(0, x, x)
+	}
+	if a.GetPeriodic(0, -1) != 3 || a.GetPeriodic(0, 4) != 0 || a.GetPeriodic(0, 9) != 1 {
+		t.Fatal("periodic wrap wrong")
+	}
+	if a.GetClamped(0, -3) != 0 || a.GetClamped(0, 99) != 3 {
+		t.Fatal("clamp wrong")
+	}
+}
+
+func TestCopyInOut(t *testing.T) {
+	a := MustNewArray[float64](1, 2, 3)
+	src := []float64{1, 2, 3, 4, 5, 6}
+	if err := a.CopyIn(0, src); err != nil {
+		t.Fatal(err)
+	}
+	if a.Get(0, 1, 2) != 6 || a.Get(0, 0, 1) != 2 {
+		t.Fatal("CopyIn layout mismatch")
+	}
+	dst := make([]float64, 6)
+	if err := a.CopyOut(0, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatal("CopyOut mismatch")
+		}
+	}
+	if err := a.CopyIn(0, src[:3]); err == nil {
+		t.Fatal("short CopyIn should error")
+	}
+	if err := a.CopyOut(0, dst[:3]); err == nil {
+		t.Fatal("short CopyOut should error")
+	}
+}
+
+func TestFill(t *testing.T) {
+	a := MustNewArray[int](1, 3, 3)
+	a.Fill(1, 9)
+	for x := 0; x < 3; x++ {
+		for y := 0; y < 3; y++ {
+			if a.Get(1, x, y) != 9 {
+				t.Fatal("Fill missed a point")
+			}
+			if a.Get(0, x, y) != 0 {
+				t.Fatal("Fill leaked into other slot")
+			}
+		}
+	}
+}
+
+func TestSlotDirectAccess(t *testing.T) {
+	a := MustNewArray[float64](1, 3, 4)
+	a.Set(1, 42, 2, 3)
+	s := a.Slot(1)
+	if s[2*a.Stride(0)+3*a.Stride(1)] != 42 {
+		t.Fatal("Slot/stride arithmetic inconsistent with Set")
+	}
+}
+
+func TestSprint(t *testing.T) {
+	a := MustNewArray[int](1, 2, 3)
+	for x := 0; x < 2; x++ {
+		for y := 0; y < 3; y++ {
+			a.Set(0, 10*x+y, x, y)
+		}
+	}
+	got := a.Sprint(0)
+	want := "0 1 2\n10 11 12\n"
+	if got != want {
+		t.Fatalf("Sprint = %q, want %q", got, want)
+	}
+	// 1D arrays print one line.
+	b := MustNewArray[float64](1, 3)
+	b.Set(0, 1.5, 1)
+	if got := b.Sprint(0); got != "0 1.5 0\n" {
+		t.Fatalf("1D Sprint = %q", got)
+	}
+	// 3D arrays separate planes with blank lines.
+	c := MustNewArray[int](1, 2, 2, 2)
+	if got := c.Sprint(0); got != "0 0\n0 0\n\n0 0\n0 0\n" {
+		t.Fatalf("3D Sprint = %q", got)
+	}
+}
+
+func TestShapeCheck(t *testing.T) {
+	sh := shape.MustNew(1, [][]int{{1, 0}, {0, 0}, {0, 1}, {0, -1}})
+	a := MustNewArray[float64](1, 8)
+	a.RegisterBoundary(func(arr *Array[float64], tt int, idx []int) float64 { return 0 })
+	a.EnableShapeCheck(sh)
+
+	// Compliant accesses for home (t=3, x=4).
+	a.SetHome(3, []int{4})
+	_ = a.Get(3, 4)
+	_ = a.Get(3, 5)
+	_ = a.Get(3, 3)
+	a.Set(4, 1.0, 4)
+	if err := a.CheckErr(); err != nil {
+		t.Fatalf("compliant kernel flagged: %v", err)
+	}
+
+	// Violating access: two cells away.
+	_ = a.Get(3, 6)
+	err := a.CheckErr()
+	if err == nil {
+		t.Fatal("expected shape violation")
+	}
+	if _, ok := err.(*ShapeError); !ok {
+		t.Fatalf("want *ShapeError, got %T", err)
+	}
+
+	// First violation is kept.
+	_ = a.Get(3, 7)
+	if a.CheckErr() != err {
+		t.Fatal("first violation should be retained")
+	}
+
+	a.DisableShapeCheck()
+	if a.CheckErr() != nil {
+		t.Fatal("disable should clear error")
+	}
+	_ = a.Get(3, 6) // no longer checked
+}
+
+func TestShapeErrorMessage(t *testing.T) {
+	sh := shape.MustNew(1, [][]int{{1, 0}, {0, 0}})
+	a := MustNewArray[float64](1, 8)
+	a.EnableShapeCheck(sh)
+	a.SetHome(0, []int{2})
+	_ = a.Get(0, 4)
+	err := a.CheckErr()
+	if err == nil {
+		t.Fatal("expected violation")
+	}
+	msg := err.Error()
+	for _, frag := range []string{"pochoir guarantee", "t=0", "[4]"} {
+		if !contains(msg, frag) {
+			t.Errorf("error message %q missing %q", msg, frag)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,107 @@
+// Package sched provides the small fork-join runtime used by the execution
+// engines. It stands in for the Intel Cilk Plus work-stealing scheduler the
+// paper's generated code targets: goroutines multiplexed over GOMAXPROCS
+// threads give the same near-greedy fork-join semantics, and the engines
+// gate spawning by subproblem volume so goroutine-creation overhead stays a
+// small fraction of the work, as base-case coarsening does for Cilk spawns.
+package sched
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers returns the current parallelism level (GOMAXPROCS).
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// Do2 runs a and b, in parallel when parallel is true ("spawn a; call b;
+// sync" in Cilk terms), serially otherwise.
+func Do2(parallel bool, a, b func()) {
+	if !parallel {
+		a()
+		b()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		a()
+	}()
+	b()
+	wg.Wait()
+}
+
+// DoAll runs every function in fns, in parallel when parallel is true.
+// The final function runs on the calling goroutine, so a single-element
+// list never spawns.
+func DoAll(parallel bool, fns []func()) {
+	n := len(fns)
+	if n == 0 {
+		return
+	}
+	if !parallel || n == 1 {
+		for _, f := range fns {
+			f()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n - 1)
+	for _, f := range fns[:n-1] {
+		f := f
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	fns[n-1]()
+	wg.Wait()
+}
+
+// For divides the half-open index range [lo, hi) into contiguous chunks of
+// at least grain indices and runs body on each chunk, in parallel when
+// parallel is true. It is the "cilk_for" of the LOOPS baseline. body
+// receives a half-open subrange [i0, i1).
+func For(parallel bool, lo, hi, grain int, body func(i0, i1 int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if !parallel || n <= grain {
+		body(lo, hi)
+		return
+	}
+	// Choose a chunk count that keeps every worker busy without drowning
+	// the scheduler: ~4 chunks per worker, bounded below by the grain.
+	chunks := Workers() * 4
+	if chunks > (n+grain-1)/grain {
+		chunks = (n + grain - 1) / grain
+	}
+	if chunks <= 1 {
+		body(lo, hi)
+		return
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for start := lo; start < hi; start += size {
+		end := start + size
+		if end > hi {
+			end = hi
+		}
+		if end == hi {
+			// Run the last chunk inline.
+			body(start, end)
+			break
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			body(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,198 @@
+// Package shape implements Pochoir stencil shapes (§2 of the paper): the set
+// of space-time offsets a kernel's memory footprint occupies relative to the
+// home cell, together with the derived quantities the algorithm needs —
+// depth, per-dimension slopes, and per-dimension spatial reach.
+package shape
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cell is one entry of a stencil shape: a time offset followed by one
+// spatial offset per dimension, relative to the space-time point being
+// updated (the home cell's coordinates).
+type Cell struct {
+	DT int
+	DX []int
+}
+
+// Shape describes the memory footprint of a stencil kernel. The first cell
+// is the home cell: its spatial coordinates must all be zero, and it names
+// the point being written. All other cells must have strictly smaller time
+// offsets and are read-only during the computation.
+type Shape struct {
+	NDims int
+	Cells []Cell
+
+	depth  int
+	slopes []int
+	reach  []int
+}
+
+// New validates the given cells (each of length ndims+1, time offset first)
+// and returns the Shape. It enforces the §2 rules: the home cell comes
+// first with all-zero spatial coordinates, and every other cell has a time
+// offset strictly less than the home cell's.
+func New(ndims int, cells [][]int) (*Shape, error) {
+	if ndims < 1 {
+		return nil, fmt.Errorf("shape: need at least 1 spatial dimension, got %d", ndims)
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("shape: empty cell list")
+	}
+	s := &Shape{NDims: ndims}
+	for ci, c := range cells {
+		if len(c) != ndims+1 {
+			return nil, fmt.Errorf("shape: cell %d has %d entries, want %d (time offset + %d spatial offsets)",
+				ci, len(c), ndims+1, ndims)
+		}
+		dx := make([]int, ndims)
+		copy(dx, c[1:])
+		s.Cells = append(s.Cells, Cell{DT: c[0], DX: dx})
+	}
+	home := s.Cells[0]
+	for i, v := range home.DX {
+		if v != 0 {
+			return nil, fmt.Errorf("shape: home cell spatial coordinate %d is %d, must be 0", i, v)
+		}
+	}
+	minDT := home.DT
+	for ci, c := range s.Cells[1:] {
+		if c.DT >= home.DT {
+			return nil, fmt.Errorf("shape: cell %d has time offset %d >= home cell's %d; reads must be at earlier times",
+				ci+1, c.DT, home.DT)
+		}
+		if c.DT < minDT {
+			minDT = c.DT
+		}
+	}
+	s.depth = home.DT - minDT
+	if s.depth == 0 {
+		// A shape with only the home cell: degenerate but legal (a map
+		// over the grid); give it depth 1 so a 2-slot time buffer works.
+		s.depth = 1
+	}
+	s.slopes = make([]int, ndims)
+	s.reach = make([]int, ndims)
+	for _, c := range s.Cells[1:] {
+		k := home.DT - c.DT // >= 1: how many steps back this cell reads
+		for i, dx := range c.DX {
+			a := dx
+			if a < 0 {
+				a = -a
+			}
+			// The paper defines slope_i = max over cells of
+			// ceil(|dx_i| / k), which bounds how far a dependency can
+			// cross a zoid's sloped side (containment). For stencils of
+			// depth K > 1 a second constraint applies that the paper's
+			// benchmarks all satisfy implicitly: the circular time
+			// buffer holds only K+1 slots, so a zoid processed later
+			// must read neighbor cells' values before the earlier zoid
+			// has cycled them out, which requires
+			// |dx_i| <= slope * (K - k + 1). We take the max of both
+			// bounds; they coincide for k == 1 and k == K (where both
+			// equal |dx_i|), so for every stencil in the paper this is
+			// exactly the paper's definition.
+			sl := (a + k - 1) / k
+			if d := s.depth - k + 1; d >= 1 {
+				if s2 := (a + d - 1) / d; s2 > sl {
+					sl = s2
+				}
+			}
+			if sl > s.slopes[i] {
+				s.slopes[i] = sl
+			}
+			if a > s.reach[i] {
+				s.reach[i] = a
+			}
+		}
+	}
+	return s, nil
+}
+
+// MustNew is New, panicking on error; for package-level shape literals.
+func MustNew(ndims int, cells [][]int) *Shape {
+	s, err := New(ndims, cells)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Depth returns the number of earlier time steps a grid point depends on:
+// the home cell's time offset minus the minimum time offset of any cell.
+// A Pochoir array for this shape keeps Depth()+1 time slots, and the user
+// must initialize time steps 0 .. Depth()-1 before running.
+func (s *Shape) Depth() int { return s.depth }
+
+// Slope returns the stencil slope sigma_i along spatial dimension i:
+// max over cells of ceil(|dx_i| / (t_home - t_cell)).
+func (s *Shape) Slope(i int) int { return s.slopes[i] }
+
+// Slopes returns a copy of all per-dimension slopes.
+func (s *Shape) Slopes() []int { return append([]int(nil), s.slopes...) }
+
+// Reach returns the maximum absolute spatial offset along dimension i over
+// all cells. Reach bounds how far off a zoid's footprint any access may
+// land, and so governs the interior/boundary zoid classification; it can
+// exceed Slope when the stencil depth is larger than one.
+func (s *Shape) Reach(i int) int { return s.reach[i] }
+
+// Reaches returns a copy of all per-dimension reaches.
+func (s *Shape) Reaches() []int { return append([]int(nil), s.reach...) }
+
+// HomeDT returns the time offset of the home cell (the write).
+func (s *Shape) HomeDT() int { return s.Cells[0].DT }
+
+// Contains reports whether the offset (dt, dx) appears in the shape. The
+// Phase-1 template-library path uses this to enforce the Pochoir Guarantee:
+// every access a kernel makes must fall within the declared shape.
+func (s *Shape) Contains(dt int, dx []int) bool {
+	for _, c := range s.Cells {
+		if c.DT != dt {
+			continue
+		}
+		match := true
+		for i := range c.DX {
+			if c.DX[i] != dx[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the shape in the paper's brace-list syntax, cells sorted
+// for stable output.
+func (s *Shape) String() string {
+	cells := append([]Cell(nil), s.Cells...)
+	sort.Slice(cells[1:], func(a, b int) bool {
+		ca, cb := cells[a+1], cells[b+1]
+		if ca.DT != cb.DT {
+			return ca.DT < cb.DT
+		}
+		for i := range ca.DX {
+			if ca.DX[i] != cb.DX[i] {
+				return ca.DX[i] < cb.DX[i]
+			}
+		}
+		return false
+	})
+	out := "{"
+	for ci, c := range cells {
+		if ci > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("{%d", c.DT)
+		for _, v := range c.DX {
+			out += fmt.Sprintf(",%d", v)
+		}
+		out += "}"
+	}
+	return out + "}"
+}

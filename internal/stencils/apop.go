@@ -1,0 +1,296 @@
+package stencils
+
+import (
+	"math"
+
+	"pochoir"
+	"pochoir/internal/loops"
+)
+
+// APOP (Fig. 3 row "APOP"): American put option pricing by backward
+// induction on an explicit finite-difference scheme over a log-price grid
+// (Hull, "Options, Futures, and Other Derivatives" — the paper's [24]):
+//
+//	v(t+1,i) = max(payoff_i, A*v(t,i-1) + B*v(t,i) + C*v(t,i+1)),
+//
+// where t counts backward steps from expiry and the per-point max encodes
+// the early-exercise condition. The time step is set from the explicit
+// scheme's stability bound dt <= dx^2/sigma^2, as any explicit FD pricer
+// must.
+
+const (
+	apopStrike = 100.0
+	apopSigma  = 0.3
+	apopRate   = 0.05
+	apopHalfW  = 4.0 // log-price grid spans ln(K) +- apopHalfW
+)
+
+func init() { register(NewAPOPFactory()) }
+
+// NewAPOPFactory returns the APOP benchmark.
+func NewAPOPFactory() Factory {
+	return Factory{
+		Name:       "APOP",
+		Order:      10,
+		Dims:       1,
+		PaperSizes: []int{2000000},
+		PaperSteps: 10000,
+		New: func(sizes []int, steps int) Instance {
+			sizes, steps = defaults(sizes, steps, []int{400000}, 2000)
+			return newAPOP(sizes[0], steps)
+		},
+	}
+}
+
+type apop struct {
+	N     int
+	steps int
+
+	dx, dt     float64
+	x0         float64
+	ca, cb, cc float64 // FD coefficients
+
+	st *pochoir.Stencil[float64]
+	v  *pochoir.Array[float64]
+
+	pay       []float64 // memoized payoff per node
+	cur, next []float64 // padded loop buffers
+}
+
+func newAPOP(n, steps int) *apop {
+	a := &apop{N: n, steps: steps}
+	a.x0 = math.Log(apopStrike) - apopHalfW
+	a.dx = 2 * apopHalfW / float64(n-1)
+	// Stability: dt*sigma^2/dx^2 <= 0.8.
+	a.dt = 0.8 * a.dx * a.dx / (apopSigma * apopSigma)
+	nu := apopRate - 0.5*apopSigma*apopSigma
+	d2 := apopSigma * apopSigma / (a.dx * a.dx)
+	a.ca = 0.5 * a.dt * (d2 - nu/a.dx)
+	a.cb = 1 - a.dt*(d2+apopRate)
+	a.cc = 0.5 * a.dt * (d2 + nu/a.dx)
+	return a
+}
+
+func (a *apop) Name() string           { return "APOP" }
+func (a *apop) Dims() int              { return 1 }
+func (a *apop) Sizes() []int           { return []int{a.N} }
+func (a *apop) Steps() int             { return a.steps }
+func (a *apop) Points() int64          { return int64(a.N) }
+func (a *apop) FlopsPerPoint() float64 { return 7 }
+
+// APOPShape is the three-point depth-1 shape.
+func APOPShape() *pochoir.Shape {
+	return pochoir.MustShape(1, [][]int{{1, 0}, {0, 0}, {0, 1}, {0, -1}})
+}
+
+// payoffAt computes the immediate-exercise value at grid index i (which
+// may lie off the grid; the boundary function uses that).
+func (a *apop) payoffAt(i int) float64 {
+	v := apopStrike - math.Exp(a.x0+float64(i)*a.dx)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// payoff returns the memoized in-domain payoff table; every execution path
+// uses it so the (expensive) exp is evaluated once per node, not once per
+// point update.
+func (a *apop) payoff(i int) float64 {
+	if i < 0 || i >= a.N {
+		return a.payoffAt(i)
+	}
+	return a.pay[i]
+}
+
+func (a *apop) fillPayoff() {
+	if a.pay == nil {
+		a.pay = make([]float64, a.N)
+		for i := range a.pay {
+			a.pay[i] = a.payoffAt(i)
+		}
+	}
+}
+
+func (a *apop) setupPochoir() {
+	a.fillPayoff()
+	sh := APOPShape()
+	a.st = pochoir.New[float64](sh)
+	a.v = pochoir.MustArray[float64](sh.Depth(), a.N)
+	// Off-grid values: the payoff extended beyond the grid (deep
+	// in-the-money on the left, worthless on the right).
+	a.v.RegisterBoundary(pochoir.DirichletBoundary(func(t int, idx []int) float64 {
+		return a.payoff(idx[0])
+	}))
+	a.st.MustRegisterArray(a.v)
+	init := make([]float64, a.N)
+	for i := range init {
+		init[i] = a.payoff(i)
+	}
+	if err := a.v.CopyIn(0, init); err != nil {
+		panic(err)
+	}
+}
+
+func (a *apop) pointKernel() pochoir.Kernel {
+	v := a.v
+	return pochoir.K1(func(t, i int) {
+		cont := a.ca*v.Get(t, i-1) + a.cb*v.Get(t, i) + a.cc*v.Get(t, i+1)
+		if p := a.payoff(i); p > cont {
+			cont = p
+		}
+		v.Set(t+1, cont, i)
+	})
+}
+
+func (a *apop) interiorBase() pochoir.BaseFunc {
+	v := a.v
+	return func(z pochoir.Zoid) {
+		lo, hi := z.Lo[0], z.Hi[0]
+		for t := z.T0; t < z.T1; t++ {
+			w := v.Slot(t)
+			r := v.Slot(t - 1)
+			dst := w[lo:hi]
+			cm := r[lo-1:]
+			c := r[lo:]
+			cp := r[lo+1:]
+			for i := range dst {
+				cont := a.ca*cm[i] + a.cb*c[i] + a.cc*cp[i]
+				if p := a.pay[lo+i]; p > cont {
+					cont = p
+				}
+				dst[i] = cont
+			}
+			lo += z.DLo[0]
+			hi += z.DHi[0]
+		}
+	}
+}
+
+// boundaryBase is the specialized boundary clone: edge accesses see the
+// extended payoff, matching the Dirichlet boundary function.
+func (a *apop) boundaryBase() pochoir.BaseFunc {
+	v := a.v
+	N := a.N
+	return func(z pochoir.Zoid) {
+		lo, hi := z.Lo[0], z.Hi[0]
+		for t := z.T0; t < z.T1; t++ {
+			w := v.Slot(t)
+			r := v.Slot(t - 1)
+			for i := lo; i < hi; i++ {
+				ti := mod(i, N)
+				vm, vp := a.payoff(ti-1), a.payoff(ti+1)
+				if ti-1 >= 0 {
+					vm = r[ti-1]
+				}
+				if ti+1 < N {
+					vp = r[ti+1]
+				}
+				cont := a.ca*vm + a.cb*r[ti] + a.cc*vp
+				if p := a.pay[ti]; p > cont {
+					cont = p
+				}
+				w[ti] = cont
+			}
+			lo += z.DLo[0]
+			hi += z.DHi[0]
+		}
+	}
+}
+
+func (a *apop) pochoirResult() []float64 {
+	out := make([]float64, a.N)
+	if err := a.v.CopyOut(a.steps, out); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func (a *apop) Pochoir(opts pochoir.Options) Job {
+	return Job{
+		Setup: func() { a.setupPochoir() },
+		Compute: func() {
+			a.st.SetOptions(opts)
+			b := pochoir.BaseKernels{
+				Interior: a.interiorBase(),
+				Boundary: a.boundaryBase(),
+			}
+			if err := a.st.RunSpecialized(a.steps, b); err != nil {
+				panic(err)
+			}
+		},
+		Result: func() []float64 { return a.pochoirResult() },
+	}
+}
+
+func (a *apop) PochoirGeneric(opts pochoir.Options) Job {
+	return Job{
+		Setup: func() { a.setupPochoir() },
+		Compute: func() {
+			a.st.SetOptions(opts)
+			if err := a.st.Run(a.steps, a.pointKernel()); err != nil {
+				panic(err)
+			}
+		},
+		Result: func() []float64 { return a.pochoirResult() },
+	}
+}
+
+// ---- LOOPS baseline (ghost cells holding the extended payoff) ----
+
+func (a *apop) setupLoops() {
+	a.fillPayoff()
+	a.cur = make([]float64, a.N+2)
+	a.next = make([]float64, a.N+2)
+	for i := 0; i < a.N; i++ {
+		a.cur[i+1] = a.payoff(i)
+	}
+	// The halo is constant in time: set it in both buffers once.
+	for _, b := range [][]float64{a.cur, a.next} {
+		b[0] = a.payoff(-1)
+		b[a.N+1] = a.payoff(a.N)
+	}
+}
+
+func (a *apop) loopsCompute(parallel bool) {
+	loops.Run(0, a.steps, parallel, a.N, 4096, func(t, i0, i1 int) {
+		cur, next := a.cur, a.next
+		if t%2 == 1 {
+			cur, next = next, cur
+		}
+		dst := next[i0+1 : i1+1]
+		cm := cur[i0:]
+		c := cur[i0+1:]
+		cp := cur[i0+2:]
+		for i := range dst {
+			cont := a.ca*cm[i] + a.cb*c[i] + a.cc*cp[i]
+			if p := a.pay[i0+i]; p > cont {
+				cont = p
+			}
+			dst[i] = cont
+		}
+	})
+}
+
+func (a *apop) loopsResult() []float64 {
+	final := a.cur
+	if a.steps%2 == 1 {
+		final = a.next
+	}
+	return append([]float64(nil), final[1:a.N+1]...)
+}
+
+func (a *apop) LoopsSerial() Job {
+	return Job{Setup: a.setupLoops, Compute: func() { a.loopsCompute(false) }, Result: a.loopsResult}
+}
+
+func (a *apop) LoopsParallel() Job {
+	return Job{Setup: a.setupLoops, Compute: func() { a.loopsCompute(true) }, Result: a.loopsResult}
+}
+
+// PriceAtStrike returns the option value at the grid point nearest the
+// strike after the run.
+func (a *apop) PriceAtStrike(final []float64) float64 {
+	i := int((math.Log(apopStrike) - a.x0) / a.dx)
+	return final[i]
+}

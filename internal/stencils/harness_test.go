@@ -1,0 +1,104 @@
+package stencils
+
+import (
+	"math"
+	"testing"
+
+	"pochoir"
+)
+
+// agree compares two final states; when exact is true they must be
+// bitwise identical (all paths evaluate the same expression tree per point).
+func agree(t *testing.T, name string, a, b []float64, exact bool) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: result lengths differ: %d vs %d", name, len(a), len(b))
+	}
+	worst, worstIdx := 0.0, -1
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > worst {
+			worst, worstIdx = d, i
+		}
+	}
+	tol := 0.0
+	if !exact {
+		tol = 1e-9
+	}
+	if worst > tol {
+		t.Fatalf("%s: results differ by %g at index %d (%g vs %g)",
+			name, worst, worstIdx, a[worstIdx], b[worstIdx])
+	}
+}
+
+// checkAllPaths runs every execution path of the instance factory and
+// verifies they agree. mk must return a fresh instance per call.
+func checkAllPaths(t *testing.T, mk func() Instance, exact bool) {
+	t.Helper()
+	ref := mk().LoopsSerial().Run()
+	type path struct {
+		name string
+		job  Job
+	}
+	paths := []path{
+		{"LoopsParallel", mk().LoopsParallel()},
+		{"Pochoir", mk().Pochoir(pochoir.Options{})},
+		{"Pochoir serial", mk().Pochoir(pochoir.Options{Serial: true})},
+		{"Pochoir STRAP", mk().Pochoir(pochoir.Options{Algorithm: 1})},
+		{"Pochoir fine", mk().Pochoir(pochoir.Options{TimeCutoff: 2, Grain: 1})},
+		{"PochoirGeneric", mk().PochoirGeneric(pochoir.Options{})},
+	}
+	for _, p := range paths {
+		got := p.job.Run()
+		agree(t, mk().Name()+"/"+p.name, ref, got, exact)
+	}
+}
+
+func TestFactoriesRegistered(t *testing.T) {
+	all := All()
+	if len(all) < 2 {
+		t.Fatalf("registry has %d entries", len(all))
+	}
+	seen := map[string]bool{}
+	last := -1
+	for _, f := range all {
+		if seen[f.Name] {
+			t.Fatalf("duplicate factory %q", f.Name)
+		}
+		seen[f.Name] = true
+		if f.Order < last {
+			t.Fatalf("registry not ordered at %q", f.Name)
+		}
+		last = f.Order
+		if f.New == nil || f.Dims < 1 {
+			t.Fatalf("factory %q incomplete", f.Name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("Heat 2p"); !ok {
+		t.Fatal("Heat 2p should be registered")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unknown benchmark should not resolve")
+	}
+}
+
+func TestInstanceMetadata(t *testing.T) {
+	for _, f := range All() {
+		inst := f.New(nil, 0)
+		if inst.Name() == "" || inst.Dims() != f.Dims {
+			t.Errorf("%s: bad metadata", f.Name)
+		}
+		if inst.Steps() <= 0 || inst.Points() <= 0 || inst.FlopsPerPoint() < 0 {
+			t.Errorf("%s: nonpositive workload: steps=%d points=%d", f.Name, inst.Steps(), inst.Points())
+		}
+		if len(inst.Sizes()) != f.Dims {
+			t.Errorf("%s: sizes/dims mismatch", f.Name)
+		}
+		if f.PaperSteps <= 0 || len(f.PaperSizes) != f.Dims {
+			t.Errorf("%s: paper workload not recorded", f.Name)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package stencils
+
+import (
+	"pochoir"
+	"pochoir/internal/loops"
+)
+
+// Heat 1D: the paper's running example for the loop-indexing optimizations
+// (Fig. 12),
+//
+//	a(t+1,i) = 0.125*(a(t,i-1) + 2*a(t,i) + a(t,i+1)).
+//
+// It is not a Fig. 3 row (so it is not registered with the benchmark
+// registry), but it drives the compiler examples and the -split-pointer vs
+// -split-macro-shadow comparison alongside Heat 2D.
+
+// NewHeat1DFactory returns the 1D heat benchmark.
+func NewHeat1DFactory(periodic bool) Factory {
+	name := "Heat 1"
+	if periodic {
+		name = "Heat 1p"
+	}
+	return Factory{
+		Name:       name,
+		Order:      100, // not a Fig. 3 row
+		Dims:       1,
+		PaperSizes: []int{16000000},
+		PaperSteps: 500,
+		New: func(sizes []int, steps int) Instance {
+			sizes, steps = defaults(sizes, steps, []int{4000000}, 50)
+			return &heat1D{N: sizes[0], steps: steps, periodic: periodic}
+		},
+	}
+}
+
+type heat1D struct {
+	N        int
+	steps    int
+	periodic bool
+
+	st *pochoir.Stencil[float64]
+	a  *pochoir.Array[float64]
+
+	cur, next []float64
+}
+
+func (h *heat1D) Name() string {
+	if h.periodic {
+		return "Heat 1p"
+	}
+	return "Heat 1"
+}
+func (h *heat1D) Dims() int              { return 1 }
+func (h *heat1D) Sizes() []int           { return []int{h.N} }
+func (h *heat1D) Steps() int             { return h.steps }
+func (h *heat1D) Points() int64          { return int64(h.N) }
+func (h *heat1D) FlopsPerPoint() float64 { return 4 }
+
+// Heat1DShape is the three-point shape of Fig. 12(a).
+func Heat1DShape() *pochoir.Shape {
+	return pochoir.MustShape(1, [][]int{{1, 0}, {0, 0}, {0, 1}, {0, -1}})
+}
+
+func (h *heat1D) setupPochoir() {
+	sh := Heat1DShape()
+	h.st = pochoir.New[float64](sh)
+	h.a = pochoir.MustArray[float64](sh.Depth(), h.N)
+	if h.periodic {
+		h.a.RegisterBoundary(pochoir.PeriodicBoundary[float64]())
+	} else {
+		h.a.RegisterBoundary(pochoir.ZeroBoundary[float64]())
+	}
+	h.st.MustRegisterArray(h.a)
+	init := make([]float64, h.N)
+	fillRand(init, 1000)
+	if err := h.a.CopyIn(0, init); err != nil {
+		panic(err)
+	}
+}
+
+func (h *heat1D) pointKernel() pochoir.Kernel {
+	a := h.a
+	return pochoir.K1(func(t, i int) {
+		a.Set(t+1, 0.125*(a.Get(t, i-1)+2*a.Get(t, i)+a.Get(t, i+1)), i)
+	})
+}
+
+// interiorBase is the -split-pointer interior clone of Fig. 12(c): one
+// cursor per stencil term, advanced together through the inner loop.
+func (h *heat1D) interiorBase() pochoir.BaseFunc {
+	a := h.a
+	return func(z pochoir.Zoid) {
+		lo, hi := z.Lo[0], z.Hi[0]
+		for t := z.T0; t < z.T1; t++ {
+			w := a.Slot(t)
+			r := a.Slot(t - 1)
+			dst := w[lo:hi]
+			cm := r[lo-1:]
+			c := r[lo:]
+			cp := r[lo+1:]
+			for i := range dst {
+				dst[i] = 0.125 * (cm[i] + 2*c[i] + cp[i])
+			}
+			lo += z.DLo[0]
+			hi += z.DHi[0]
+		}
+	}
+}
+
+// interiorBaseMacro is the -split-macro-shadow interior clone of Fig. 12(b):
+// full address arithmetic on every access, but no boundary checking.
+func (h *heat1D) interiorBaseMacro() pochoir.BaseFunc {
+	a := h.a
+	return func(z pochoir.Zoid) {
+		lo, hi := z.Lo[0], z.Hi[0]
+		for t := z.T0; t < z.T1; t++ {
+			w := a.Slot(t)
+			r := a.Slot(t - 1)
+			for i := lo; i < hi; i++ {
+				w[i] = 0.125 * (r[i-1] + 2*r[i] + r[i+1])
+			}
+			lo += z.DLo[0]
+			hi += z.DHi[0]
+		}
+	}
+}
+
+// boundaryBase is the specialized boundary clone (wrapped or zero-halo
+// accesses, compiled).
+func (h *heat1D) boundaryBase() pochoir.BaseFunc {
+	a := h.a
+	N := h.N
+	periodic := h.periodic
+	return func(z pochoir.Zoid) {
+		lo, hi := z.Lo[0], z.Hi[0]
+		for t := z.T0; t < z.T1; t++ {
+			w := a.Slot(t)
+			r := a.Slot(t - 1)
+			for i := lo; i < hi; i++ {
+				ti := mod(i, N)
+				var vm, vp float64
+				if periodic {
+					vm = r[mod(ti-1, N)]
+					vp = r[mod(ti+1, N)]
+				} else {
+					if ti-1 >= 0 {
+						vm = r[ti-1]
+					}
+					if ti+1 < N {
+						vp = r[ti+1]
+					}
+				}
+				w[ti] = 0.125 * (vm + 2*r[ti] + vp)
+			}
+			lo += z.DLo[0]
+			hi += z.DHi[0]
+		}
+	}
+}
+
+func (h *heat1D) pochoirResult() []float64 {
+	out := make([]float64, h.N)
+	if err := h.a.CopyOut(h.steps, out); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func (h *heat1D) pochoirJob(opts pochoir.Options, interior func() pochoir.BaseFunc) Job {
+	return Job{
+		Setup: func() { h.setupPochoir() },
+		Compute: func() {
+			h.st.SetOptions(opts)
+			b := pochoir.BaseKernels{Boundary: h.boundaryBase()}
+			if interior != nil {
+				b.Interior = interior()
+			}
+			if err := h.st.RunSpecialized(h.steps, b); err != nil {
+				panic(err)
+			}
+		},
+		Result: func() []float64 { return h.pochoirResult() },
+	}
+}
+
+func (h *heat1D) Pochoir(opts pochoir.Options) Job {
+	return h.pochoirJob(opts, h.interiorBase)
+}
+
+// PochoirMacroShadow runs with the Fig. 12(b)-style interior clone.
+func (h *heat1D) PochoirMacroShadow(opts pochoir.Options) Job {
+	return h.pochoirJob(opts, h.interiorBaseMacro)
+}
+
+func (h *heat1D) PochoirGeneric(opts pochoir.Options) Job {
+	return Job{
+		Setup: func() { h.setupPochoir() },
+		Compute: func() {
+			h.st.SetOptions(opts)
+			if err := h.st.Run(h.steps, h.pointKernel()); err != nil {
+				panic(err)
+			}
+		},
+		Result: func() []float64 { return h.pochoirResult() },
+	}
+}
+
+// ---- LOOPS baseline ----
+
+func (h *heat1D) setupLoops() {
+	if h.periodic {
+		h.cur = make([]float64, h.N)
+		h.next = make([]float64, h.N)
+		fillRand(h.cur, 1000)
+		return
+	}
+	h.cur = make([]float64, h.N+2)
+	h.next = make([]float64, h.N+2)
+	init := make([]float64, h.N)
+	fillRand(init, 1000)
+	copy(h.cur[1:], init)
+}
+
+func (h *heat1D) loopsCompute(parallel bool) {
+	N := h.N
+	if h.periodic {
+		loops.Run(0, h.steps, parallel, N, 4096, func(t, i0, i1 int) {
+			cur, next := h.cur, h.next
+			if t%2 == 1 {
+				cur, next = next, cur
+			}
+			for i := i0; i < i1; i++ {
+				im := ((i-1)%N + N) % N
+				ip := (i + 1) % N
+				next[i] = 0.125 * (cur[im] + 2*cur[i] + cur[ip])
+			}
+		})
+		return
+	}
+	loops.Run(0, h.steps, parallel, N, 4096, func(t, i0, i1 int) {
+		cur, next := h.cur, h.next
+		if t%2 == 1 {
+			cur, next = next, cur
+		}
+		dst := next[i0+1 : i1+1]
+		cm := cur[i0:]
+		c := cur[i0+1:]
+		cp := cur[i0+2:]
+		for i := range dst {
+			dst[i] = 0.125 * (cm[i] + 2*c[i] + cp[i])
+		}
+	})
+}
+
+func (h *heat1D) loopsResult() []float64 {
+	final := h.cur
+	if h.steps%2 == 1 {
+		final = h.next
+	}
+	if h.periodic {
+		return append([]float64(nil), final...)
+	}
+	return append([]float64(nil), final[1:h.N+1]...)
+}
+
+func (h *heat1D) LoopsSerial() Job {
+	return Job{Setup: h.setupLoops, Compute: func() { h.loopsCompute(false) }, Result: h.loopsResult}
+}
+
+func (h *heat1D) LoopsParallel() Job {
+	return Job{Setup: h.setupLoops, Compute: func() { h.loopsCompute(true) }, Result: h.loopsResult}
+}

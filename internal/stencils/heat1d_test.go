@@ -1,0 +1,30 @@
+package stencils
+
+import (
+	"testing"
+
+	"pochoir"
+)
+
+func TestHeat1DPeriodicAllPaths(t *testing.T) {
+	f := NewHeat1DFactory(true)
+	checkAllPaths(t, func() Instance { return f.New([]int{211}, 63) }, true)
+}
+
+func TestHeat1DNonperiodicAllPaths(t *testing.T) {
+	f := NewHeat1DFactory(false)
+	checkAllPaths(t, func() Instance { return f.New([]int{190}, 55) }, true)
+}
+
+func TestHeat1DMacroShadow(t *testing.T) {
+	f := NewHeat1DFactory(true)
+	ref := f.New([]int{150}, 40).LoopsSerial().Run()
+	inst := f.New([]int{150}, 40).(*heat1D)
+	got := inst.PochoirMacroShadow(pochoir.Options{}).Run()
+	agree(t, "Heat1p/macro-shadow", ref, got, true)
+}
+
+func TestHeat4DAllPaths(t *testing.T) {
+	f := NewHeat4DFactory()
+	checkAllPaths(t, func() Instance { return f.New([]int{9, 8, 10, 11}, 7) }, true)
+}

@@ -1,0 +1,41 @@
+package stencils
+
+import (
+	"testing"
+
+	"pochoir"
+)
+
+func TestHeat2DPeriodicAllPaths(t *testing.T) {
+	f := NewHeat2DFactory(true)
+	checkAllPaths(t, func() Instance { return f.New([]int{59, 47}, 33) }, true)
+}
+
+func TestHeat2DNonperiodicAllPaths(t *testing.T) {
+	f := NewHeat2DFactory(false)
+	checkAllPaths(t, func() Instance { return f.New([]int{48, 52}, 30) }, true)
+}
+
+func TestHeat2DNoInteriorAblation(t *testing.T) {
+	f := NewHeat2DFactory(true)
+	ref := f.New([]int{40, 40}, 20).LoopsSerial().Run()
+	inst := f.New([]int{40, 40}, 20).(*heat2D)
+	got := inst.PochoirNoInterior(pochoir.Options{}).Run()
+	agree(t, "Heat2p/NoInterior", ref, got, true)
+}
+
+func TestHeat2DMacroShadow(t *testing.T) {
+	f := NewHeat2DFactory(true)
+	ref := f.New([]int{40, 40}, 20).LoopsSerial().Run()
+	inst := f.New([]int{40, 40}, 20).(*heat2D)
+	got := inst.PochoirMacroShadow(pochoir.Options{}).Run()
+	agree(t, "Heat2p/macro-shadow", ref, got, true)
+}
+
+func TestHeat2DOddSizes(t *testing.T) {
+	// Sizes that defeat power-of-two cutting patterns.
+	f := NewHeat2DFactory(true)
+	ref := f.New([]int{17, 23}, 11).LoopsSerial().Run()
+	got := f.New([]int{17, 23}, 11).Pochoir(pochoir.Options{Grain: 1}).Run()
+	agree(t, "Heat2p/odd", ref, got, true)
+}

@@ -1,0 +1,326 @@
+package stencils
+
+import (
+	"pochoir"
+	"pochoir/internal/loops"
+)
+
+// Heat 4D (Fig. 3 row "Heat 4"): the 9-point star Jacobi update on a
+// nonperiodic 4D grid,
+//
+//	u(t+1,p) = u(t,p) + sum_d CD*(u(t,p+e_d) - 2u(t,p) + u(t,p-e_d)).
+//
+// The loop baseline uses ghost cells (a zero halo), per the paper's
+// treatment of nonperiodic stencils.
+
+const heat4DC = 0.0625
+
+func init() { register(NewHeat4DFactory()) }
+
+// NewHeat4DFactory returns the Heat 4 benchmark.
+func NewHeat4DFactory() Factory {
+	return Factory{
+		Name:       "Heat 4",
+		Order:      3,
+		Dims:       4,
+		PaperSizes: []int{150, 150, 150, 150},
+		PaperSteps: 100,
+		New: func(sizes []int, steps int) Instance {
+			sizes, steps = defaults(sizes, steps, []int{40, 40, 40, 40}, 20)
+			return &heat4D{sz: [4]int{sizes[0], sizes[1], sizes[2], sizes[3]}, steps: steps}
+		},
+	}
+}
+
+type heat4D struct {
+	sz    [4]int
+	steps int
+
+	st *pochoir.Stencil[float64]
+	u  *pochoir.Array[float64]
+
+	cur, next []float64 // padded loop buffers
+}
+
+func (h *heat4D) Name() string           { return "Heat 4" }
+func (h *heat4D) Dims() int              { return 4 }
+func (h *heat4D) Sizes() []int           { return h.sz[:] }
+func (h *heat4D) Steps() int             { return h.steps }
+func (h *heat4D) Points() int64          { return prod(h.sz[:]) }
+func (h *heat4D) FlopsPerPoint() float64 { return 20 }
+
+// Heat4DShape is the 9-point star shape.
+func Heat4DShape() *pochoir.Shape {
+	cells := [][]int{{1, 0, 0, 0, 0}, {0, 0, 0, 0, 0}}
+	for d := 0; d < 4; d++ {
+		for _, s := range []int{1, -1} {
+			c := []int{0, 0, 0, 0, 0}
+			c[1+d] = s
+			cells = append(cells, c)
+		}
+	}
+	return pochoir.MustShape(4, cells)
+}
+
+func (h *heat4D) setupPochoir() {
+	sh := Heat4DShape()
+	h.st = pochoir.New[float64](sh)
+	h.u = pochoir.MustArray[float64](sh.Depth(), h.sz[0], h.sz[1], h.sz[2], h.sz[3])
+	h.u.RegisterBoundary(pochoir.ZeroBoundary[float64]())
+	h.st.MustRegisterArray(h.u)
+	init := make([]float64, h.Points())
+	fillRand(init, 4000)
+	if err := h.u.CopyIn(0, init); err != nil {
+		panic(err)
+	}
+}
+
+func (h *heat4D) pointKernel() pochoir.Kernel {
+	u := h.u
+	return pochoir.K4(func(t, a, b, c, d int) {
+		v := u.Get(t, a, b, c, d)
+		u.Set(t+1, v+
+			heat4DC*(u.Get(t, a+1, b, c, d)-2*v+u.Get(t, a-1, b, c, d))+
+			heat4DC*(u.Get(t, a, b+1, c, d)-2*v+u.Get(t, a, b-1, c, d))+
+			heat4DC*(u.Get(t, a, b, c+1, d)-2*v+u.Get(t, a, b, c-1, d))+
+			heat4DC*(u.Get(t, a, b, c, d+1)-2*v+u.Get(t, a, b, c, d-1)), a, b, c, d)
+	})
+}
+
+func (h *heat4D) interiorBase() pochoir.BaseFunc {
+	u := h.u
+	s0, s1, s2 := u.Stride(0), u.Stride(1), u.Stride(2)
+	return func(z pochoir.Zoid) {
+		var lo, hi [4]int
+		for i := 0; i < 4; i++ {
+			lo[i], hi[i] = z.Lo[i], z.Hi[i]
+		}
+		for t := z.T0; t < z.T1; t++ {
+			w := u.Slot(t)
+			r := u.Slot(t - 1)
+			for a := lo[0]; a < hi[0]; a++ {
+				for b := lo[1]; b < hi[1]; b++ {
+					for c := lo[2]; c < hi[2]; c++ {
+						base := a*s0 + b*s1 + c*s2
+						dst := w[base+lo[3] : base+hi[3]]
+						cc := r[base+lo[3]:]
+						am := r[base-s0+lo[3]:]
+						ap := r[base+s0+lo[3]:]
+						bm := r[base-s1+lo[3]:]
+						bp := r[base+s1+lo[3]:]
+						cm := r[base-s2+lo[3]:]
+						cp := r[base+s2+lo[3]:]
+						dm := r[base+lo[3]-1:]
+						dp := r[base+lo[3]+1:]
+						for i := range dst {
+							v := cc[i]
+							dst[i] = v +
+								heat4DC*(ap[i]-2*v+am[i]) +
+								heat4DC*(bp[i]-2*v+bm[i]) +
+								heat4DC*(cp[i]-2*v+cm[i]) +
+								heat4DC*(dp[i]-2*v+dm[i])
+						}
+					}
+				}
+			}
+			for i := 0; i < 4; i++ {
+				lo[i] += z.DLo[i]
+				hi[i] += z.DHi[i]
+			}
+		}
+	}
+}
+
+// boundaryBase is the specialized boundary clone. As in the 3D kernels,
+// the unit-stride dimension is never cut, so this clone carries most of
+// the work: each (a,b,c) row selects its six neighbor rows once (an
+// all-zeros row standing in for rows off the grid — the zero Dirichlet
+// value), and only the two d-end points take per-access checks.
+func (h *heat4D) boundaryBase() pochoir.BaseFunc {
+	u := h.u
+	s0, s1, s2 := u.Stride(0), u.Stride(1), u.Stride(2)
+	n := h.sz
+	zeros := make([]float64, n[3])
+	generic := h.st.GenericBase(h.pointKernel())
+	return func(z pochoir.Zoid) {
+		if z.Lo[3] != 0 || z.Hi[3] != n[3] || z.DLo[3] != 0 || z.DHi[3] != 0 {
+			generic(z) // only under non-default coarsening
+			return
+		}
+		var lo, hi [4]int
+		for i := 0; i < 4; i++ {
+			lo[i], hi[i] = z.Lo[i], z.Hi[i]
+		}
+		for t := z.T0; t < z.T1; t++ {
+			w := u.Slot(t)
+			r := u.Slot(t - 1)
+			row := func(i, j, k int) []float64 {
+				if i < 0 || i >= n[0] || j < 0 || j >= n[1] || k < 0 || k >= n[2] {
+					return zeros
+				}
+				base := i*s0 + j*s1 + k*s2
+				return r[base : base+n[3] : base+n[3]]
+			}
+			at := func(g []float64, k int) float64 {
+				if k < 0 || k >= n[3] {
+					return 0
+				}
+				return g[k]
+			}
+			for a := lo[0]; a < hi[0]; a++ {
+				ta := mod(a, n[0])
+				for b := lo[1]; b < hi[1]; b++ {
+					tb := mod(b, n[1])
+					for c := lo[2]; c < hi[2]; c++ {
+						tc := mod(c, n[2])
+						base := ta*s0 + tb*s1 + tc*s2
+						dst := w[base : base+n[3]]
+						cc := r[base : base+n[3]]
+						am, ap := row(ta-1, tb, tc), row(ta+1, tb, tc)
+						bm, bp := row(ta, tb-1, tc), row(ta, tb+1, tc)
+						cm, cp := row(ta, tb, tc-1), row(ta, tb, tc+1)
+						for k := 0; k < n[3]; k++ {
+							v := cc[k]
+							dst[k] = v +
+								heat4DC*(ap[k]-2*v+am[k]) +
+								heat4DC*(bp[k]-2*v+bm[k]) +
+								heat4DC*(cp[k]-2*v+cm[k]) +
+								heat4DC*(at(cc, k+1)-2*v+at(cc, k-1))
+						}
+					}
+				}
+			}
+			for i := 0; i < 4; i++ {
+				lo[i] += z.DLo[i]
+				hi[i] += z.DHi[i]
+			}
+		}
+	}
+}
+
+func (h *heat4D) pochoirResult() []float64 {
+	out := make([]float64, h.Points())
+	if err := h.u.CopyOut(h.steps, out); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func (h *heat4D) Pochoir(opts pochoir.Options) Job {
+	return Job{
+		Setup: func() { h.setupPochoir() },
+		Compute: func() {
+			h.st.SetOptions(opts)
+			b := pochoir.BaseKernels{
+				Interior: h.interiorBase(),
+				Boundary: h.boundaryBase(),
+			}
+			if err := h.st.RunSpecialized(h.steps, b); err != nil {
+				panic(err)
+			}
+		},
+		Result: func() []float64 { return h.pochoirResult() },
+	}
+}
+
+func (h *heat4D) PochoirGeneric(opts pochoir.Options) Job {
+	return Job{
+		Setup: func() { h.setupPochoir() },
+		Compute: func() {
+			h.st.SetOptions(opts)
+			if err := h.st.Run(h.steps, h.pointKernel()); err != nil {
+				panic(err)
+			}
+		},
+		Result: func() []float64 { return h.pochoirResult() },
+	}
+}
+
+// ---- LOOPS baseline (ghost cells) ----
+
+func (h *heat4D) padded() [4]int {
+	return [4]int{h.sz[0] + 2, h.sz[1] + 2, h.sz[2] + 2, h.sz[3] + 2}
+}
+
+func (h *heat4D) setupLoops() {
+	p := h.padded()
+	n := p[0] * p[1] * p[2] * p[3]
+	h.cur = make([]float64, n)
+	h.next = make([]float64, n)
+	init := make([]float64, h.Points())
+	fillRand(init, 4000)
+	q1, q2, q3 := p[1]*p[2]*p[3], p[2]*p[3], p[3]
+	for a := 0; a < h.sz[0]; a++ {
+		for b := 0; b < h.sz[1]; b++ {
+			for c := 0; c < h.sz[2]; c++ {
+				src := ((a*h.sz[1]+b)*h.sz[2] + c) * h.sz[3]
+				dst := (a+1)*q1 + (b+1)*q2 + (c+1)*q3 + 1
+				copy(h.cur[dst:dst+h.sz[3]], init[src:src+h.sz[3]])
+			}
+		}
+	}
+}
+
+func (h *heat4D) loopsCompute(parallel bool) {
+	p := h.padded()
+	q1, q2, q3 := p[1]*p[2]*p[3], p[2]*p[3], p[3]
+	loops.Run(0, h.steps, parallel, h.sz[0], 1, func(t, a0, a1 int) {
+		cur, next := h.cur, h.next
+		if t%2 == 1 {
+			cur, next = next, cur
+		}
+		for a := a0; a < a1; a++ {
+			for b := 0; b < h.sz[1]; b++ {
+				for c := 0; c < h.sz[2]; c++ {
+					base := (a+1)*q1 + (b+1)*q2 + (c+1)*q3 + 1
+					dst := next[base : base+h.sz[3]]
+					cc := cur[base:]
+					am := cur[base-q1:]
+					ap := cur[base+q1:]
+					bm := cur[base-q2:]
+					bp := cur[base+q2:]
+					cm := cur[base-q3:]
+					cp := cur[base+q3:]
+					dm := cur[base-1:]
+					dp := cur[base+1:]
+					for i := range dst {
+						v := cc[i]
+						dst[i] = v +
+							heat4DC*(ap[i]-2*v+am[i]) +
+							heat4DC*(bp[i]-2*v+bm[i]) +
+							heat4DC*(cp[i]-2*v+cm[i]) +
+							heat4DC*(dp[i]-2*v+dm[i])
+					}
+				}
+			}
+		}
+	})
+}
+
+func (h *heat4D) loopsResult() []float64 {
+	final := h.cur
+	if h.steps%2 == 1 {
+		final = h.next
+	}
+	p := h.padded()
+	q1, q2, q3 := p[1]*p[2]*p[3], p[2]*p[3], p[3]
+	out := make([]float64, h.Points())
+	for a := 0; a < h.sz[0]; a++ {
+		for b := 0; b < h.sz[1]; b++ {
+			for c := 0; c < h.sz[2]; c++ {
+				dst := ((a*h.sz[1]+b)*h.sz[2] + c) * h.sz[3]
+				src := (a+1)*q1 + (b+1)*q2 + (c+1)*q3 + 1
+				copy(out[dst:dst+h.sz[3]], final[src:src+h.sz[3]])
+			}
+		}
+	}
+	return out
+}
+
+func (h *heat4D) LoopsSerial() Job {
+	return Job{Setup: h.setupLoops, Compute: func() { h.loopsCompute(false) }, Result: h.loopsResult}
+}
+
+func (h *heat4D) LoopsParallel() Job {
+	return Job{Setup: h.setupLoops, Compute: func() { h.loopsCompute(true) }, Result: h.loopsResult}
+}

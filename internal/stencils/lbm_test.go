@@ -1,0 +1,84 @@
+package stencils
+
+import (
+	"math"
+	"testing"
+
+	"pochoir"
+)
+
+func TestLBMAllPaths(t *testing.T) {
+	f := NewLBMFactory()
+	checkAllPaths(t, func() Instance { return f.New([]int{14, 12, 16}, 9) }, true)
+}
+
+// TestLBMConservesMass: BGK collision conserves density, and clamped walls
+// only copy values, so total mass drifts only through wall in/outflow;
+// on a uniform-density field it must be exactly conserved.
+func TestLBMConservesMass(t *testing.T) {
+	f := NewLBMFactory().New([]int{10, 10, 10}, 12).(*lbm)
+	// Uniform density: equilibrium at rest is a fixed point.
+	job := f.Pochoir(pochoir.Options{})
+	job.Setup()
+	uniform := make([]LBMCell, f.Points())
+	for p := range uniform {
+		for i := 0; i < LBMQ; i++ {
+			uniform[p][i] = lbmW[i]
+		}
+	}
+	if err := f.f.CopyIn(0, uniform); err != nil {
+		t.Fatal(err)
+	}
+	job.Compute()
+	out := job.Result()
+	mass := 0.0
+	for _, v := range out {
+		mass += v
+	}
+	want := float64(f.Points())
+	if math.Abs(mass-want) > 1e-9*want {
+		t.Fatalf("mass %g, want %g", mass, want)
+	}
+	// Uniform equilibrium must be an exact fixed point per distribution.
+	for i, v := range out {
+		if math.Abs(v-lbmW[i%LBMQ]) > 1e-12 {
+			t.Fatalf("distribution %d drifted: %g vs %g", i, v, lbmW[i%LBMQ])
+		}
+	}
+}
+
+func TestLBMShape(t *testing.T) {
+	sh := LBMShape()
+	if sh.Depth() != 1 {
+		t.Fatalf("depth %d", sh.Depth())
+	}
+	for d := 0; d < 3; d++ {
+		if sh.Slope(d) != 1 || sh.Reach(d) != 1 {
+			t.Fatalf("dim %d slope/reach %d/%d", d, sh.Slope(d), sh.Reach(d))
+		}
+	}
+	if len(sh.Cells) != 20 {
+		t.Fatalf("cells %d, want 20 (home + 19 velocities)", len(sh.Cells))
+	}
+}
+
+// TestLBMWeightsSum checks the D3Q19 lattice constants.
+func TestLBMWeightsSum(t *testing.T) {
+	sum := 0.0
+	for _, w := range lbmW {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-15 {
+		t.Fatalf("weights sum to %g", sum)
+	}
+	// Velocity set must be symmetric: sum of e_i is zero.
+	var s [3]int
+	for _, e := range lbmE {
+		for d := 0; d < 3; d++ {
+			s[d] += e[d]
+		}
+	}
+	if s != [3]int{} {
+		t.Fatalf("velocity set asymmetric: %v", s)
+	}
+}

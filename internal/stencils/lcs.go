@@ -1,0 +1,289 @@
+package stencils
+
+import (
+	"math/rand"
+
+	"pochoir"
+	"pochoir/internal/loops"
+)
+
+// LCS (Fig. 3 row "LCS 1"): longest common subsequence of two sequences via
+// the classic DP
+//
+//	D(i,j) = 0                                  if i == 0 or j == 0
+//	D(i,j) = max(D(i-1,j), D(i,j-1), D(i-1,j-1) + [A_i == B_j])
+//
+// expressed, as in the paper, as a 1D stencil over anti-diagonals: grid
+// position i at time t holds L(t,i) = D(i, t-i), so
+//
+//	L(t+1,i) = max(L(t,i-1), L(t,i), L(t-1,i-1) + match(i, t+1-i)),
+//
+// a depth-2, slope-1 one-dimensional stencil whose kernel carries the
+// diamond-domain conditionals the paper calls out for PSA/LCS.
+
+func init() { register(NewLCSFactory()) }
+
+// NewLCSFactory returns the LCS 1 benchmark.
+func NewLCSFactory() Factory {
+	return Factory{
+		Name:       "LCS 1",
+		Order:      9,
+		Dims:       1,
+		PaperSizes: []int{100000},
+		PaperSteps: 200000,
+		New: func(sizes []int, steps int) Instance {
+			sizes, steps = defaults(sizes, steps, []int{20000}, 40000)
+			n := sizes[0] - 1  // sequence A length; grid holds i = 0..n
+			m := steps + 1 - n // so the final diagonal n+m == steps+1 holds D(n,m)
+			if m < 1 {
+				m = n
+			}
+			return &lcs{n: n, m: m, steps: steps}
+		},
+	}
+}
+
+// randomSeq returns a deterministic sequence over a 4-letter alphabet.
+func randomSeq(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(4))
+	}
+	return s
+}
+
+type lcs struct {
+	n, m  int // sequence lengths
+	steps int
+
+	seqA, seqB []byte
+
+	st *pochoir.Stencil[float64]
+	l  *pochoir.Array[float64]
+
+	buf [3][]float64 // loop baseline: diagonals rotated by t mod 3
+}
+
+func (s *lcs) Name() string           { return "LCS 1" }
+func (s *lcs) Dims() int              { return 1 }
+func (s *lcs) Sizes() []int           { return []int{s.n + 1} }
+func (s *lcs) Steps() int             { return s.steps }
+func (s *lcs) Points() int64          { return int64(s.n + 1) }
+func (s *lcs) FlopsPerPoint() float64 { return 0 } // integer-valued kernel
+
+// LCSShape: reads positions i-1 and i at t, and i-1 at t-1.
+func LCSShape() *pochoir.Shape {
+	return pochoir.MustShape(1, [][]int{{1, 0}, {0, 0}, {0, -1}, {-1, -1}})
+}
+
+func (s *lcs) sequences() {
+	if s.seqA == nil {
+		s.seqA = randomSeq(s.n, 9000)
+		s.seqB = randomSeq(s.m, 9001)
+	}
+}
+
+// cell computes L(t,i) from its three predecessor values, applying the
+// diamond-domain conditionals. All paths share it for bit-identical output.
+func (s *lcs) cell(w, i int, diagPrev func(int) float64, diag2Prev func(int) float64) float64 {
+	j := w - i
+	if i < 1 || j < 1 || j > s.m {
+		return 0 // exterior of the DP table
+	}
+	best := diagPrev(i - 1) // D(i-1, j)
+	if v := diagPrev(i); v > best {
+		best = v // D(i, j-1)
+	}
+	d := diag2Prev(i - 1) // D(i-1, j-1)
+	if s.seqA[i-1] == s.seqB[j-1] {
+		d++
+	}
+	if d > best {
+		best = d
+	}
+	return best
+}
+
+func (s *lcs) setupPochoir() {
+	s.sequences()
+	sh := LCSShape()
+	s.st = pochoir.New[float64](sh)
+	s.l = pochoir.MustArray[float64](sh.Depth(), s.n+1)
+	s.l.RegisterBoundary(pochoir.ZeroBoundary[float64]())
+	s.st.MustRegisterArray(s.l)
+	// Diagonals 0 and 1 are all zeros (first row/column of the DP table):
+	// the arrays are zero-initialized.
+}
+
+func (s *lcs) pointKernel() pochoir.Kernel {
+	l := s.l
+	return pochoir.K1(func(t, i int) {
+		l.Set(t+1, s.cell(t+1, i,
+			func(k int) float64 { return l.Get(t, k) },
+			func(k int) float64 { return l.Get(t-1, k) }), i)
+	})
+}
+
+func (s *lcs) interiorBase() pochoir.BaseFunc {
+	l := s.l
+	return func(z pochoir.Zoid) {
+		lo, hi := z.Lo[0], z.Hi[0]
+		for t := z.T0; t < z.T1; t++ {
+			w := l.Slot(t)
+			r := l.Slot(t - 1)
+			rr := l.Slot(t - 2)
+			for i := lo; i < hi; i++ {
+				j := t - i
+				if i < 1 || j < 1 || j > s.m {
+					w[i] = 0
+					continue
+				}
+				best := r[i-1]
+				if r[i] > best {
+					best = r[i]
+				}
+				d := rr[i-1]
+				if s.seqA[i-1] == s.seqB[j-1] {
+					d++
+				}
+				if d > best {
+					best = d
+				}
+				w[i] = best
+			}
+			lo += z.DLo[0]
+			hi += z.DHi[0]
+		}
+	}
+}
+
+// boundaryBase is the specialized boundary clone: identical to the
+// interior clone except that virtual coordinates are reduced modulo the
+// grid. The diamond-domain branch already covers the i==0 edge, and no
+// access leaves the domain for i >= 1.
+func (s *lcs) boundaryBase() pochoir.BaseFunc {
+	l := s.l
+	n1 := s.n + 1
+	return func(z pochoir.Zoid) {
+		lo, hi := z.Lo[0], z.Hi[0]
+		for t := z.T0; t < z.T1; t++ {
+			w := l.Slot(t)
+			r := l.Slot(t - 1)
+			rr := l.Slot(t - 2)
+			for i := lo; i < hi; i++ {
+				ti := mod(i, n1)
+				j := t - ti
+				if ti < 1 || j < 1 || j > s.m {
+					w[ti] = 0
+					continue
+				}
+				best := r[ti-1]
+				if r[ti] > best {
+					best = r[ti]
+				}
+				d := rr[ti-1]
+				if s.seqA[ti-1] == s.seqB[j-1] {
+					d++
+				}
+				if d > best {
+					best = d
+				}
+				w[ti] = best
+			}
+			lo += z.DLo[0]
+			hi += z.DHi[0]
+		}
+	}
+}
+
+func (s *lcs) pochoirResult() []float64 {
+	out := make([]float64, s.n+1)
+	if err := s.l.CopyOut(s.steps+1, out); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func (s *lcs) Pochoir(opts pochoir.Options) Job {
+	return Job{
+		Setup: func() { s.setupPochoir() },
+		Compute: func() {
+			s.st.SetOptions(opts)
+			b := pochoir.BaseKernels{
+				Interior: s.interiorBase(),
+				Boundary: s.boundaryBase(),
+			}
+			if err := s.st.RunSpecialized(s.steps, b); err != nil {
+				panic(err)
+			}
+		},
+		Result: func() []float64 { return s.pochoirResult() },
+	}
+}
+
+func (s *lcs) PochoirGeneric(opts pochoir.Options) Job {
+	return Job{
+		Setup: func() { s.setupPochoir() },
+		Compute: func() {
+			s.st.SetOptions(opts)
+			if err := s.st.Run(s.steps, s.pointKernel()); err != nil {
+				panic(err)
+			}
+		},
+		Result: func() []float64 { return s.pochoirResult() },
+	}
+}
+
+// ---- LOOPS baseline ----
+
+func (s *lcs) setupLoops() {
+	s.sequences()
+	for i := range s.buf {
+		s.buf[i] = make([]float64, s.n+1)
+	}
+}
+
+func (s *lcs) loopsCompute(parallel bool) {
+	// Home time w runs 2..steps+1 (diagonals 0 and 1 are zero).
+	loops.Run(2, s.steps+2, parallel, s.n+1, 4096, func(w, i0, i1 int) {
+		next := s.buf[w%3]
+		r := s.buf[(w+2)%3]
+		rr := s.buf[(w+1)%3]
+		for i := i0; i < i1; i++ {
+			j := w - i
+			if i < 1 || j < 1 || j > s.m {
+				next[i] = 0
+				continue
+			}
+			best := r[i-1]
+			if r[i] > best {
+				best = r[i]
+			}
+			d := rr[i-1]
+			if s.seqA[i-1] == s.seqB[j-1] {
+				d++
+			}
+			if d > best {
+				best = d
+			}
+			next[i] = best
+		}
+	})
+}
+
+func (s *lcs) loopsResult() []float64 {
+	return append([]float64(nil), s.buf[(s.steps+1)%3]...)
+}
+
+func (s *lcs) LoopsSerial() Job {
+	return Job{Setup: s.setupLoops, Compute: func() { s.loopsCompute(false) }, Result: s.loopsResult}
+}
+
+func (s *lcs) LoopsParallel() Job {
+	return Job{Setup: s.setupLoops, Compute: func() { s.loopsCompute(true) }, Result: s.loopsResult}
+}
+
+// Score returns D(n,m) — the LCS length — after a run that reached diagonal
+// n+m (steps >= n+m-1).
+func (s *lcs) Score(final []float64) float64 { return final[s.n] }

@@ -1,0 +1,257 @@
+package stencils
+
+import (
+	"pochoir"
+	"pochoir/internal/loops"
+)
+
+// Life 2p (Fig. 3 row "Life 2p"): Conway's Game of Life on a torus. The
+// stencil's shape is the full Moore neighborhood (slope 1 in both
+// dimensions, including diagonals); the kernel counts live neighbors and
+// applies the birth/survival rules.
+
+func init() { register(NewLifeFactory()) }
+
+// NewLifeFactory returns the Life 2p benchmark.
+func NewLifeFactory() Factory {
+	return Factory{
+		Name:       "Life 2p",
+		Order:      4,
+		Dims:       2,
+		PaperSizes: []int{16000, 16000},
+		PaperSteps: 500,
+		New: func(sizes []int, steps int) Instance {
+			sizes, steps = defaults(sizes, steps, []int{2000, 2000}, 64)
+			return &life{X: sizes[0], Y: sizes[1], steps: steps}
+		},
+	}
+}
+
+type life struct {
+	X, Y  int
+	steps int
+
+	st *pochoir.Stencil[uint8]
+	u  *pochoir.Array[uint8]
+
+	cur, next []uint8
+}
+
+func (l *life) Name() string           { return "Life 2p" }
+func (l *life) Dims() int              { return 2 }
+func (l *life) Sizes() []int           { return []int{l.X, l.Y} }
+func (l *life) Steps() int             { return l.steps }
+func (l *life) Points() int64          { return int64(l.X) * int64(l.Y) }
+func (l *life) FlopsPerPoint() float64 { return 0 } // integer kernel
+
+// LifeShape is the Moore-neighborhood shape.
+func LifeShape() *pochoir.Shape {
+	cells := [][]int{{1, 0, 0}, {0, 0, 0}}
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			cells = append(cells, []int{0, dx, dy})
+		}
+	}
+	return pochoir.MustShape(2, cells)
+}
+
+// lifeRule applies Conway's rules given the current state and live count.
+func lifeRule(c, n uint8) uint8 {
+	if n == 3 || (n == 2 && c == 1) {
+		return 1
+	}
+	return 0
+}
+
+func lifeInit(X, Y int) []uint8 {
+	f := make([]float64, X*Y)
+	fillRand(f, 3000)
+	g := make([]uint8, X*Y)
+	for i, v := range f {
+		if v < 0.35 {
+			g[i] = 1
+		}
+	}
+	return g
+}
+
+func (l *life) setupPochoir() {
+	sh := LifeShape()
+	l.st = pochoir.New[uint8](sh)
+	l.u = pochoir.MustArray[uint8](sh.Depth(), l.X, l.Y)
+	l.u.RegisterBoundary(pochoir.PeriodicBoundary[uint8]())
+	l.st.MustRegisterArray(l.u)
+	if err := l.u.CopyIn(0, lifeInit(l.X, l.Y)); err != nil {
+		panic(err)
+	}
+}
+
+func (l *life) pointKernel() pochoir.Kernel {
+	u := l.u
+	return pochoir.K2(func(t, x, y int) {
+		n := u.Get(t, x-1, y-1) + u.Get(t, x-1, y) + u.Get(t, x-1, y+1) +
+			u.Get(t, x, y-1) + u.Get(t, x, y+1) +
+			u.Get(t, x+1, y-1) + u.Get(t, x+1, y) + u.Get(t, x+1, y+1)
+		u.Set(t+1, lifeRule(u.Get(t, x, y), n), x, y)
+	})
+}
+
+func (l *life) interiorBase() pochoir.BaseFunc {
+	u := l.u
+	ys := u.Stride(0)
+	return func(z pochoir.Zoid) {
+		lo0, hi0 := z.Lo[0], z.Hi[0]
+		lo1, hi1 := z.Lo[1], z.Hi[1]
+		for t := z.T0; t < z.T1; t++ {
+			w := u.Slot(t)
+			r := u.Slot(t - 1)
+			for x := lo0; x < hi0; x++ {
+				base := x * ys
+				dst := w[base+lo1 : base+hi1]
+				up := r[base-ys+lo1-1:]
+				mid := r[base+lo1-1:]
+				dn := r[base+ys+lo1-1:]
+				for i := range dst {
+					n := up[i] + up[i+1] + up[i+2] +
+						mid[i] + mid[i+2] +
+						dn[i] + dn[i+1] + dn[i+2]
+					dst[i] = lifeRule(mid[i+1], n)
+				}
+			}
+			lo0 += z.DLo[0]
+			hi0 += z.DHi[0]
+			lo1 += z.DLo[1]
+			hi1 += z.DHi[1]
+		}
+	}
+}
+
+// boundaryBase is the specialized boundary clone: wrapped (toroidal)
+// neighbor indexing, compiled.
+func (l *life) boundaryBase() pochoir.BaseFunc {
+	u := l.u
+	ys := u.Stride(0)
+	X, Y := l.X, l.Y
+	return func(z pochoir.Zoid) {
+		lo0, hi0 := z.Lo[0], z.Hi[0]
+		lo1, hi1 := z.Lo[1], z.Hi[1]
+		for t := z.T0; t < z.T1; t++ {
+			w := u.Slot(t)
+			r := u.Slot(t - 1)
+			for x := lo0; x < hi0; x++ {
+				tx := mod(x, X)
+				row := tx * ys
+				rowM := mod(tx-1, X) * ys
+				rowP := mod(tx+1, X) * ys
+				for y := lo1; y < hi1; y++ {
+					ty := mod(y, Y)
+					ym := mod(ty-1, Y)
+					yp := mod(ty+1, Y)
+					n := r[rowM+ym] + r[rowM+ty] + r[rowM+yp] +
+						r[row+ym] + r[row+yp] +
+						r[rowP+ym] + r[rowP+ty] + r[rowP+yp]
+					w[row+ty] = lifeRule(r[row+ty], n)
+				}
+			}
+			lo0 += z.DLo[0]
+			hi0 += z.DHi[0]
+			lo1 += z.DLo[1]
+			hi1 += z.DHi[1]
+		}
+	}
+}
+
+func u8ToF64(g []uint8) []float64 {
+	out := make([]float64, len(g))
+	for i, v := range g {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func (l *life) pochoirResult() []float64 {
+	out := make([]uint8, l.X*l.Y)
+	if err := l.u.CopyOut(l.steps, out); err != nil {
+		panic(err)
+	}
+	return u8ToF64(out)
+}
+
+func (l *life) Pochoir(opts pochoir.Options) Job {
+	return Job{
+		Setup: func() { l.setupPochoir() },
+		Compute: func() {
+			l.st.SetOptions(opts)
+			b := pochoir.BaseKernels{
+				Interior: l.interiorBase(),
+				Boundary: l.boundaryBase(),
+			}
+			if err := l.st.RunSpecialized(l.steps, b); err != nil {
+				panic(err)
+			}
+		},
+		Result: func() []float64 { return l.pochoirResult() },
+	}
+}
+
+func (l *life) PochoirGeneric(opts pochoir.Options) Job {
+	return Job{
+		Setup: func() { l.setupPochoir() },
+		Compute: func() {
+			l.st.SetOptions(opts)
+			if err := l.st.Run(l.steps, l.pointKernel()); err != nil {
+				panic(err)
+			}
+		},
+		Result: func() []float64 { return l.pochoirResult() },
+	}
+}
+
+// ---- LOOPS baseline (modular indexing; periodic) ----
+
+func (l *life) setupLoops() {
+	l.cur = lifeInit(l.X, l.Y)
+	l.next = make([]uint8, l.X*l.Y)
+}
+
+func (l *life) loopsCompute(parallel bool) {
+	X, Y := l.X, l.Y
+	loops.Run(0, l.steps, parallel, X, 1, func(t, x0, x1 int) {
+		cur, next := l.cur, l.next
+		if t%2 == 1 {
+			cur, next = next, cur
+		}
+		for x := x0; x < x1; x++ {
+			xm := ((x-1)%X + X) % X
+			xp := (x + 1) % X
+			row, rowm, rowp := x*Y, xm*Y, xp*Y
+			for y := 0; y < Y; y++ {
+				ym := ((y-1)%Y + Y) % Y
+				yp := (y + 1) % Y
+				n := cur[rowm+ym] + cur[rowm+y] + cur[rowm+yp] +
+					cur[row+ym] + cur[row+yp] +
+					cur[rowp+ym] + cur[rowp+y] + cur[rowp+yp]
+				next[row+y] = lifeRule(cur[row+y], n)
+			}
+		}
+	})
+}
+
+func (l *life) loopsResult() []float64 {
+	final := l.cur
+	if l.steps%2 == 1 {
+		final = l.next
+	}
+	return u8ToF64(final)
+}
+
+func (l *life) LoopsSerial() Job {
+	return Job{Setup: l.setupLoops, Compute: func() { l.loopsCompute(false) }, Result: l.loopsResult}
+}
+
+func (l *life) LoopsParallel() Job {
+	return Job{Setup: l.setupLoops, Compute: func() { l.loopsCompute(true) }, Result: l.loopsResult}
+}

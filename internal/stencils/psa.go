@@ -1,0 +1,338 @@
+package stencils
+
+import (
+	"pochoir"
+	"pochoir/internal/loops"
+)
+
+// PSA (Fig. 3 row "PSA 1"): pairwise global sequence alignment with affine
+// gap penalties (Gotoh 1982), the paper's citation [19]. Three DP matrices
+//
+//	M(i,j) = s(i,j) + max(M(i-1,j-1), X(i-1,j-1), Y(i-1,j-1))
+//	X(i,j) = max(M(i-1,j) - open, X(i-1,j) - extend)
+//	Y(i,j) = max(M(i,j-1) - open, Y(i,j-1) - extend)
+//
+// are computed along anti-diagonals as three 1D Pochoir arrays registered
+// with one stencil object (a multi-array stencil, §2). The kernel is full
+// of diamond-domain conditionals, which is exactly why the paper reports a
+// modest speedup for PSA.
+
+const (
+	psaMatch    = 2.0
+	psaMismatch = -1.0
+	psaOpen     = 3.0
+	psaExtend   = 0.5
+	psaNegInf   = -1e30
+)
+
+func init() { register(NewPSAFactory()) }
+
+// NewPSAFactory returns the PSA 1 benchmark.
+func NewPSAFactory() Factory {
+	return Factory{
+		Name:       "PSA 1",
+		Order:      8,
+		Dims:       1,
+		PaperSizes: []int{100000},
+		PaperSteps: 200000,
+		New: func(sizes []int, steps int) Instance {
+			sizes, steps = defaults(sizes, steps, []int{20000}, 40000)
+			n := sizes[0] - 1
+			m := steps + 1 - n // the final diagonal n+m == steps+1 holds (n,m)
+			if m < 1 {
+				m = n
+			}
+			return &psa{n: n, m: m, steps: steps}
+		},
+	}
+}
+
+type psa struct {
+	n, m  int
+	steps int
+
+	seqA, seqB []byte
+
+	st         *pochoir.Stencil[float64]
+	am, ax, ay *pochoir.Array[float64]
+
+	// Loop baseline: three values per position, diagonals mod 3.
+	bm, bx, by [3][]float64
+}
+
+func (p *psa) Name() string           { return "PSA 1" }
+func (p *psa) Dims() int              { return 1 }
+func (p *psa) Sizes() []int           { return []int{p.n + 1} }
+func (p *psa) Steps() int             { return p.steps }
+func (p *psa) Points() int64          { return int64(p.n + 1) }
+func (p *psa) FlopsPerPoint() float64 { return 12 }
+
+// PSAShape: the same anti-diagonal dependency pattern as LCS.
+func PSAShape() *pochoir.Shape {
+	return pochoir.MustShape(1, [][]int{{1, 0}, {0, 0}, {0, -1}, {-1, -1}})
+}
+
+func (p *psa) sequences() {
+	if p.seqA == nil {
+		p.seqA = randomSeq(p.n, 9100)
+		p.seqB = randomSeq(p.m, 9101)
+	}
+}
+
+func (p *psa) score(i, j int) float64 {
+	if p.seqA[i-1] == p.seqB[j-1] {
+		return psaMatch
+	}
+	return psaMismatch
+}
+
+func max2(a, b float64) float64 {
+	if a >= b {
+		return a
+	}
+	return b
+}
+
+func max3(a, b, c float64) float64 { return max2(max2(a, b), c) }
+
+// cellPSA computes (M,X,Y)(w,i) given accessors for the two previous
+// diagonals of each matrix. Shared by all paths.
+func (p *psa) cellPSA(w, i int,
+	mPrev, xPrev, yPrev func(int) float64,
+	mPrev2, xPrev2, yPrev2 func(int) float64) (m, x, y float64) {
+	j := w - i
+	switch {
+	case i < 0 || j < 0 || j > p.m:
+		return psaNegInf, psaNegInf, psaNegInf // exterior of the table
+	case i == 0 && j == 0:
+		return 0, psaNegInf, psaNegInf
+	case j == 0:
+		// Column 0: only a gap in B reaches here.
+		return psaNegInf, -(psaOpen + float64(i-1)*psaExtend), psaNegInf
+	case i == 0:
+		return psaNegInf, psaNegInf, -(psaOpen + float64(j-1)*psaExtend)
+	}
+	m = p.score(i, j) + max3(mPrev2(i-1), xPrev2(i-1), yPrev2(i-1))
+	x = max2(mPrev(i-1)-psaOpen, xPrev(i-1)-psaExtend)
+	y = max2(mPrev(i)-psaOpen, yPrev(i)-psaExtend)
+	return m, x, y
+}
+
+func (p *psa) setupPochoir() {
+	p.sequences()
+	sh := PSAShape()
+	p.st = pochoir.New[float64](sh)
+	p.am = pochoir.MustArray[float64](sh.Depth(), p.n+1)
+	p.ax = pochoir.MustArray[float64](sh.Depth(), p.n+1)
+	p.ay = pochoir.MustArray[float64](sh.Depth(), p.n+1)
+	for _, a := range []*pochoir.Array[float64]{p.am, p.ax, p.ay} {
+		a.RegisterBoundary(pochoir.ConstBoundary(psaNegInf))
+		p.st.MustRegisterArray(a)
+	}
+	// Initialize diagonals 0 and 1. Every cell on them falls in one of
+	// the recurrence's edge cases, so the accessors are never consulted.
+	for w := 0; w <= 1; w++ {
+		for i := 0; i <= p.n; i++ {
+			m, x, y := p.cellPSA(w, i, nil, nil, nil, nil, nil, nil)
+			p.am.Set(w, m, i)
+			p.ax.Set(w, x, i)
+			p.ay.Set(w, y, i)
+		}
+	}
+}
+
+func (p *psa) pointKernel() pochoir.Kernel {
+	am, ax, ay := p.am, p.ax, p.ay
+	return pochoir.K1(func(t, i int) {
+		m, x, y := p.cellPSA(t+1, i,
+			func(k int) float64 { return am.Get(t, k) },
+			func(k int) float64 { return ax.Get(t, k) },
+			func(k int) float64 { return ay.Get(t, k) },
+			func(k int) float64 { return am.Get(t-1, k) },
+			func(k int) float64 { return ax.Get(t-1, k) },
+			func(k int) float64 { return ay.Get(t-1, k) })
+		am.Set(t+1, m, i)
+		ax.Set(t+1, x, i)
+		ay.Set(t+1, y, i)
+	})
+}
+
+func (p *psa) interiorBase() pochoir.BaseFunc {
+	am, ax, ay := p.am, p.ax, p.ay
+	return func(z pochoir.Zoid) {
+		lo, hi := z.Lo[0], z.Hi[0]
+		for t := z.T0; t < z.T1; t++ {
+			wm, wx, wy := am.Slot(t), ax.Slot(t), ay.Slot(t)
+			rm, rx, ry := am.Slot(t-1), ax.Slot(t-1), ay.Slot(t-1)
+			rrm, rrx, rry := am.Slot(t-2), ax.Slot(t-2), ay.Slot(t-2)
+			for i := lo; i < hi; i++ {
+				j := t - i
+				var m, x, y float64
+				switch {
+				case i < 0 || j < 0 || j > p.m:
+					m, x, y = psaNegInf, psaNegInf, psaNegInf
+				case i == 0 && j == 0:
+					m, x, y = 0, psaNegInf, psaNegInf
+				case j == 0:
+					m, x, y = psaNegInf, -(psaOpen + float64(i-1)*psaExtend), psaNegInf
+				case i == 0:
+					m, x, y = psaNegInf, psaNegInf, -(psaOpen + float64(j-1)*psaExtend)
+				default:
+					m = p.score(i, j) + max3(rrm[i-1], rrx[i-1], rry[i-1])
+					x = max2(rm[i-1]-psaOpen, rx[i-1]-psaExtend)
+					y = max2(rm[i]-psaOpen, ry[i]-psaExtend)
+				}
+				wm[i], wx[i], wy[i] = m, x, y
+			}
+			lo += z.DLo[0]
+			hi += z.DHi[0]
+		}
+	}
+}
+
+// boundaryBase is the specialized boundary clone: the interior clone with
+// virtual coordinates reduced modulo the grid; the recurrence's edge cases
+// cover every point whose accesses would leave the domain.
+func (p *psa) boundaryBase() pochoir.BaseFunc {
+	am, ax, ay := p.am, p.ax, p.ay
+	n1 := p.n + 1
+	return func(z pochoir.Zoid) {
+		lo, hi := z.Lo[0], z.Hi[0]
+		for t := z.T0; t < z.T1; t++ {
+			wm, wx, wy := am.Slot(t), ax.Slot(t), ay.Slot(t)
+			rm, rx, ry := am.Slot(t-1), ax.Slot(t-1), ay.Slot(t-1)
+			rrm, rrx, rry := am.Slot(t-2), ax.Slot(t-2), ay.Slot(t-2)
+			for i := lo; i < hi; i++ {
+				ti := mod(i, n1)
+				j := t - ti
+				var m, x, y float64
+				switch {
+				case j < 0 || j > p.m:
+					m, x, y = psaNegInf, psaNegInf, psaNegInf
+				case ti == 0 && j == 0:
+					m, x, y = 0, psaNegInf, psaNegInf
+				case j == 0:
+					m, x, y = psaNegInf, -(psaOpen + float64(ti-1)*psaExtend), psaNegInf
+				case ti == 0:
+					m, x, y = psaNegInf, psaNegInf, -(psaOpen + float64(j-1)*psaExtend)
+				default:
+					m = p.score(ti, j) + max3(rrm[ti-1], rrx[ti-1], rry[ti-1])
+					x = max2(rm[ti-1]-psaOpen, rx[ti-1]-psaExtend)
+					y = max2(rm[ti]-psaOpen, ry[ti]-psaExtend)
+				}
+				wm[ti], wx[ti], wy[ti] = m, x, y
+			}
+			lo += z.DLo[0]
+			hi += z.DHi[0]
+		}
+	}
+}
+
+func (p *psa) pochoirResult() []float64 {
+	out := make([]float64, 3*(p.n+1))
+	tmp := make([]float64, p.n+1)
+	for k, a := range []*pochoir.Array[float64]{p.am, p.ax, p.ay} {
+		if err := a.CopyOut(p.steps+1, tmp); err != nil {
+			panic(err)
+		}
+		copy(out[k*(p.n+1):], tmp)
+	}
+	return out
+}
+
+func (p *psa) Pochoir(opts pochoir.Options) Job {
+	return Job{
+		Setup: func() { p.setupPochoir() },
+		Compute: func() {
+			p.st.SetOptions(opts)
+			b := pochoir.BaseKernels{
+				Interior: p.interiorBase(),
+				Boundary: p.boundaryBase(),
+			}
+			if err := p.st.RunSpecialized(p.steps, b); err != nil {
+				panic(err)
+			}
+		},
+		Result: func() []float64 { return p.pochoirResult() },
+	}
+}
+
+func (p *psa) PochoirGeneric(opts pochoir.Options) Job {
+	return Job{
+		Setup: func() { p.setupPochoir() },
+		Compute: func() {
+			p.st.SetOptions(opts)
+			if err := p.st.Run(p.steps, p.pointKernel()); err != nil {
+				panic(err)
+			}
+		},
+		Result: func() []float64 { return p.pochoirResult() },
+	}
+}
+
+// ---- LOOPS baseline ----
+
+func (p *psa) setupLoops() {
+	p.sequences()
+	for k := 0; k < 3; k++ {
+		p.bm[k] = make([]float64, p.n+1)
+		p.bx[k] = make([]float64, p.n+1)
+		p.by[k] = make([]float64, p.n+1)
+	}
+	for w := 0; w <= 1; w++ {
+		for i := 0; i <= p.n; i++ {
+			m, x, y := p.cellPSA(w, i, nil, nil, nil, nil, nil, nil)
+			p.bm[w][i], p.bx[w][i], p.by[w][i] = m, x, y
+		}
+	}
+}
+
+func (p *psa) loopsCompute(parallel bool) {
+	loops.Run(2, p.steps+2, parallel, p.n+1, 4096, func(w, i0, i1 int) {
+		wm, wx, wy := p.bm[w%3], p.bx[w%3], p.by[w%3]
+		rm, rx, ry := p.bm[(w+2)%3], p.bx[(w+2)%3], p.by[(w+2)%3]
+		rrm, rrx, rry := p.bm[(w+1)%3], p.bx[(w+1)%3], p.by[(w+1)%3]
+		for i := i0; i < i1; i++ {
+			j := w - i
+			var m, x, y float64
+			switch {
+			case i < 0 || j < 0 || j > p.m:
+				m, x, y = psaNegInf, psaNegInf, psaNegInf
+			case i == 0 && j == 0:
+				m, x, y = 0, psaNegInf, psaNegInf
+			case j == 0:
+				m, x, y = psaNegInf, -(psaOpen + float64(i-1)*psaExtend), psaNegInf
+			case i == 0:
+				m, x, y = psaNegInf, psaNegInf, -(psaOpen + float64(j-1)*psaExtend)
+			default:
+				m = p.score(i, j) + max3(rrm[i-1], rrx[i-1], rry[i-1])
+				x = max2(rm[i-1]-psaOpen, rx[i-1]-psaExtend)
+				y = max2(rm[i]-psaOpen, ry[i]-psaExtend)
+			}
+			wm[i], wx[i], wy[i] = m, x, y
+		}
+	})
+}
+
+func (p *psa) loopsResult() []float64 {
+	out := make([]float64, 3*(p.n+1))
+	copy(out[0:], p.bm[(p.steps+1)%3])
+	copy(out[p.n+1:], p.bx[(p.steps+1)%3])
+	copy(out[2*(p.n+1):], p.by[(p.steps+1)%3])
+	return out
+}
+
+func (p *psa) LoopsSerial() Job {
+	return Job{Setup: p.setupLoops, Compute: func() { p.loopsCompute(false) }, Result: p.loopsResult}
+}
+
+func (p *psa) LoopsParallel() Job {
+	return Job{Setup: p.setupLoops, Compute: func() { p.loopsCompute(true) }, Result: p.loopsResult}
+}
+
+// Score returns the global alignment score max(M,X,Y)(n,m) after a run
+// reaching diagonal n+m.
+func (p *psa) Score(final []float64) float64 {
+	n1 := p.n + 1
+	return max3(final[p.n], final[n1+p.n], final[2*n1+p.n])
+}

@@ -1,0 +1,308 @@
+package stencils
+
+import (
+	"pochoir"
+	"pochoir/internal/loops"
+)
+
+// RNA (Fig. 3 row "RNA 2"): RNA secondary-structure prediction as a 2D
+// stencil. Cell (i,j) of the DP table holds the maximum number of
+// complementary base pairings in the subsequence [i..j]; spans are
+// finalized in increasing order, one anti-diagonal per time step:
+//
+//	N(i,j) = max(N(i+1,j), N(i,j-1), N(i+1,j-1) + pair(i,j))
+//
+// with pair(i,j) allowed when the bases are complementary and j-i >= 2.
+//
+// Substitution note: full RNA folding (the paper cites Akutsu's pseudoknot
+// DP) includes an O(n) bifurcation term per cell, which is not a
+// finite-shape stencil; like the paper's own implementation we run the
+// stencil-shaped recurrence, in which each sweep touches the entire n x n
+// grid but only the active diagonal changes — giving exactly the behaviour
+// Fig. 3 reports for RNA: a small grid, a kernel dominated by branch
+// conditionals, and limited parallelism.
+
+func init() { register(NewRNAFactory()) }
+
+// NewRNAFactory returns the RNA 2 benchmark.
+func NewRNAFactory() Factory {
+	return Factory{
+		Name:       "RNA 2",
+		Order:      7,
+		Dims:       2,
+		PaperSizes: []int{300, 300},
+		PaperSteps: 900,
+		New: func(sizes []int, steps int) Instance {
+			sizes, steps = defaults(sizes, steps, []int{150, 150}, 450)
+			return &rna{n: sizes[0], steps: steps}
+		},
+	}
+}
+
+type rna struct {
+	n     int // sequence length; the grid is n x n
+	steps int
+
+	seq []byte
+
+	st *pochoir.Stencil[float64]
+	u  *pochoir.Array[float64]
+
+	cur, next []float64
+}
+
+func (r *rna) Name() string           { return "RNA 2" }
+func (r *rna) Dims() int              { return 2 }
+func (r *rna) Sizes() []int           { return []int{r.n, r.n} }
+func (r *rna) Steps() int             { return r.steps }
+func (r *rna) Points() int64          { return int64(r.n) * int64(r.n) }
+func (r *rna) FlopsPerPoint() float64 { return 0 }
+
+// RNAShape reads (i,j), (i+1,j), (i,j-1), (i+1,j-1) at the previous step.
+func RNAShape() *pochoir.Shape {
+	return pochoir.MustShape(2, [][]int{
+		{1, 0, 0}, {0, 0, 0}, {0, 1, 0}, {0, 0, -1}, {0, 1, -1},
+	})
+}
+
+func (r *rna) sequence() {
+	if r.seq == nil {
+		r.seq = randomSeq(r.n, 9200) // bases 0..3; (0,3) and (1,2) pair
+	}
+}
+
+// pair reports whether bases i and j may pair (complementary, hairpin >= 2).
+func (r *rna) pair(i, j int) bool {
+	return j-i >= 2 && r.seq[i]+r.seq[j] == 3
+}
+
+// cellRNA advances cell (i,j) to sweep w: the active diagonal j-i == w is
+// computed from its three predecessors; everything else carries forward.
+func (r *rna) cellRNA(w, i, j int, at func(ii, jj int) float64) float64 {
+	if j-i != w {
+		return at(i, j) // not on the active diagonal: copy forward
+	}
+	best := at(i+1, j)
+	if v := at(i, j-1); v > best {
+		best = v
+	}
+	if r.pair(i, j) {
+		if v := at(i+1, j-1) + 1; v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func (r *rna) setupPochoir() {
+	r.sequence()
+	sh := RNAShape()
+	r.st = pochoir.New[float64](sh)
+	r.u = pochoir.MustArray[float64](sh.Depth(), r.n, r.n)
+	r.u.RegisterBoundary(pochoir.ZeroBoundary[float64]())
+	r.st.MustRegisterArray(r.u)
+	// Sweep 0 state: all zeros (spans <= 0 score 0).
+}
+
+func (r *rna) pointKernel() pochoir.Kernel {
+	u := r.u
+	return pochoir.K2(func(t, i, j int) {
+		u.Set(t+1, r.cellRNA(t+1, i, j, func(ii, jj int) float64 {
+			return u.Get(t, ii, jj)
+		}), i, j)
+	})
+}
+
+func (r *rna) interiorBase() pochoir.BaseFunc {
+	u := r.u
+	ys := u.Stride(0)
+	return func(z pochoir.Zoid) {
+		lo0, hi0 := z.Lo[0], z.Hi[0]
+		lo1, hi1 := z.Lo[1], z.Hi[1]
+		for t := z.T0; t < z.T1; t++ {
+			w := u.Slot(t)
+			rd := u.Slot(t - 1)
+			for i := lo0; i < hi0; i++ {
+				row := i * ys
+				rowp := row + ys
+				for j := lo1; j < hi1; j++ {
+					if j-i != t {
+						w[row+j] = rd[row+j]
+						continue
+					}
+					best := rd[rowp+j]
+					if v := rd[row+j-1]; v > best {
+						best = v
+					}
+					if r.pair(i, j) {
+						if v := rd[rowp+j-1] + 1; v > best {
+							best = v
+						}
+					}
+					w[row+j] = best
+				}
+			}
+			lo0 += z.DLo[0]
+			hi0 += z.DHi[0]
+			lo1 += z.DLo[1]
+			hi1 += z.DHi[1]
+		}
+	}
+}
+
+// boundaryBase is the specialized boundary clone: virtual coordinates
+// reduced modulo the grid, off-grid reads seeing the zero boundary value.
+func (r *rna) boundaryBase() pochoir.BaseFunc {
+	u := r.u
+	ys := u.Stride(0)
+	n := r.n
+	return func(z pochoir.Zoid) {
+		lo0, hi0 := z.Lo[0], z.Hi[0]
+		lo1, hi1 := z.Lo[1], z.Hi[1]
+		for t := z.T0; t < z.T1; t++ {
+			w := u.Slot(t)
+			rd := u.Slot(t - 1)
+			for i := lo0; i < hi0; i++ {
+				ti := mod(i, n)
+				row := ti * ys
+				rowOK := ti+1 < n
+				for j := lo1; j < hi1; j++ {
+					tj := mod(j, n)
+					if tj-ti != t {
+						w[row+tj] = rd[row+tj]
+						continue
+					}
+					best := 0.0
+					if rowOK {
+						best = rd[row+ys+tj]
+					}
+					if tj-1 >= 0 {
+						if v := rd[row+tj-1]; v > best {
+							best = v
+						}
+					}
+					if r.pair(ti, tj) {
+						d := 0.0
+						if rowOK && tj-1 >= 0 {
+							d = rd[row+ys+tj-1]
+						}
+						if v := d + 1; v > best {
+							best = v
+						}
+					}
+					w[row+tj] = best
+				}
+			}
+			lo0 += z.DLo[0]
+			hi0 += z.DHi[0]
+			lo1 += z.DLo[1]
+			hi1 += z.DHi[1]
+		}
+	}
+}
+
+func (r *rna) pochoirResult() []float64 {
+	out := make([]float64, r.Points())
+	if err := r.u.CopyOut(r.steps, out); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func (r *rna) Pochoir(opts pochoir.Options) Job {
+	return Job{
+		Setup: func() { r.setupPochoir() },
+		Compute: func() {
+			r.st.SetOptions(opts)
+			b := pochoir.BaseKernels{
+				Interior: r.interiorBase(),
+				Boundary: r.boundaryBase(),
+			}
+			if err := r.st.RunSpecialized(r.steps, b); err != nil {
+				panic(err)
+			}
+		},
+		Result: func() []float64 { return r.pochoirResult() },
+	}
+}
+
+func (r *rna) PochoirGeneric(opts pochoir.Options) Job {
+	return Job{
+		Setup: func() { r.setupPochoir() },
+		Compute: func() {
+			r.st.SetOptions(opts)
+			if err := r.st.Run(r.steps, r.pointKernel()); err != nil {
+				panic(err)
+			}
+		},
+		Result: func() []float64 { return r.pochoirResult() },
+	}
+}
+
+// ---- LOOPS baseline ----
+
+func (r *rna) setupLoops() {
+	r.sequence()
+	r.cur = make([]float64, r.Points())
+	r.next = make([]float64, r.Points())
+}
+
+func (r *rna) loopsCompute(parallel bool) {
+	n := r.n
+	loops.Run(1, r.steps+1, parallel, n, 8, func(w, i0, i1 int) {
+		cur, next := r.cur, r.next
+		if w%2 == 0 {
+			cur, next = next, cur
+		}
+		for i := i0; i < i1; i++ {
+			row := i * n
+			for j := 0; j < n; j++ {
+				if j-i != w {
+					next[row+j] = cur[row+j]
+					continue
+				}
+				// On the active diagonal: read neighbors with
+				// explicit edge guards (the off-grid value is 0).
+				best := 0.0
+				if i+1 < n {
+					best = cur[row+n+j]
+				}
+				if j-1 >= 0 {
+					if v := cur[row+j-1]; v > best {
+						best = v
+					}
+				}
+				if r.pair(i, j) {
+					d := 0.0
+					if i+1 < n && j-1 >= 0 {
+						d = cur[row+n+j-1]
+					}
+					if v := d + 1; v > best {
+						best = v
+					}
+				}
+				next[row+j] = best
+			}
+		}
+	})
+}
+
+func (r *rna) loopsResult() []float64 {
+	final := r.cur
+	if r.steps%2 == 1 {
+		final = r.next
+	}
+	return append([]float64(nil), final...)
+}
+
+func (r *rna) LoopsSerial() Job {
+	return Job{Setup: r.setupLoops, Compute: func() { r.loopsCompute(false) }, Result: r.loopsResult}
+}
+
+func (r *rna) LoopsParallel() Job {
+	return Job{Setup: r.setupLoops, Compute: func() { r.loopsCompute(true) }, Result: r.loopsResult}
+}
+
+// Score returns N(0, n-1), the optimal pairing count for the whole
+// sequence, valid once steps >= n-1.
+func (r *rna) Score(final []float64) float64 { return final[r.n-1] }

@@ -1,0 +1,112 @@
+// Package tune searches base-case coarsening parameters by timing, the
+// role the ISAT autotuner plays in §4 of the paper ("Coarsening of base
+// cases"). The paper notes that full autotuning can take hours; like
+// Pochoir, this tuner is optional — the engine's default heuristic is used
+// unless a caller asks for a tuned configuration.
+//
+// The search is coordinate descent over a small lattice of candidate
+// cutoffs: each coordinate (the time cutoff, then each spatial cutoff) is
+// optimized in turn while the others are held fixed, repeating until a
+// full pass makes no improvement. This finds the same kind of local optima
+// ISAT's guided search does at a tiny fraction of the cost.
+package tune
+
+import "time"
+
+// Config is one coarsening configuration.
+type Config struct {
+	TimeCutoff  int
+	SpaceCutoff []int
+}
+
+// Evaluator measures the cost of one configuration (typically the wall
+// time of a representative run). Lower is better.
+type Evaluator func(Config) time.Duration
+
+// Options control the search.
+type Options struct {
+	// TimeCandidates and SpaceCandidates are the lattices searched.
+	// Empty slices select defaults informed by the paper's heuristics.
+	TimeCandidates  []int
+	SpaceCandidates []int
+	// MaxPasses bounds the coordinate-descent sweeps (default 3).
+	MaxPasses int
+}
+
+func (o *Options) fill() {
+	if len(o.TimeCandidates) == 0 {
+		o.TimeCandidates = []int{1, 2, 3, 5, 10, 20}
+	}
+	if len(o.SpaceCandidates) == 0 {
+		o.SpaceCandidates = []int{0, 8, 16, 32, 64, 100, 200, 500}
+	}
+	if o.MaxPasses == 0 {
+		o.MaxPasses = 3
+	}
+}
+
+// Result reports the best configuration found and the measurements taken.
+type Result struct {
+	Best     Config
+	BestCost time.Duration
+	// Evals counts evaluator invocations.
+	Evals int
+}
+
+// Search runs coordinate descent for a stencil with the given number of
+// spatial dimensions, starting from the supplied initial configuration
+// (pass the engine's heuristic defaults to refine them).
+func Search(dims int, initial Config, eval Evaluator, opts Options) Result {
+	opts.fill()
+	cur := Config{
+		TimeCutoff:  initial.TimeCutoff,
+		SpaceCutoff: make([]int, dims),
+	}
+	copy(cur.SpaceCutoff, initial.SpaceCutoff)
+	if cur.TimeCutoff < 1 {
+		cur.TimeCutoff = 1
+	}
+
+	res := Result{}
+	measure := func(c Config) time.Duration {
+		res.Evals++
+		return eval(c)
+	}
+	best := measure(cur)
+
+	for pass := 0; pass < opts.MaxPasses; pass++ {
+		improved := false
+		// Coordinate 0: the time cutoff.
+		for _, tc := range opts.TimeCandidates {
+			if tc == cur.TimeCutoff {
+				continue
+			}
+			cand := cur
+			cand.SpaceCutoff = append([]int(nil), cur.SpaceCutoff...)
+			cand.TimeCutoff = tc
+			if d := measure(cand); d < best {
+				best, cur, improved = d, cand, true
+			}
+		}
+		// Spatial coordinates.
+		for i := 0; i < dims; i++ {
+			for _, sc := range opts.SpaceCandidates {
+				if sc == cur.SpaceCutoff[i] {
+					continue
+				}
+				cand := cur
+				cand.SpaceCutoff = append([]int(nil), cur.SpaceCutoff...)
+				cand.SpaceCutoff[i] = sc
+				if d := measure(cand); d < best {
+					best, cur, improved = d, cand, true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	res.Best = cur
+	res.BestCost = best
+	return res
+}

@@ -1,0 +1,68 @@
+package tune
+
+import (
+	"testing"
+	"time"
+)
+
+// synthetic cost: quadratic bowl with minimum at (TimeCutoff=5,
+// SpaceCutoff=[100, 32]).
+func bowl(c Config) time.Duration {
+	d := func(a, b int) int64 {
+		v := int64(a - b)
+		return v * v
+	}
+	cost := d(c.TimeCutoff, 5) * 1000
+	cost += d(c.SpaceCutoff[0], 100)
+	cost += d(c.SpaceCutoff[1], 32) * 10
+	return time.Duration(cost + 1)
+}
+
+func TestSearchFindsBowlMinimum(t *testing.T) {
+	res := Search(2, Config{TimeCutoff: 1, SpaceCutoff: []int{0, 0}}, bowl, Options{})
+	if res.Best.TimeCutoff != 5 {
+		t.Fatalf("time cutoff %d, want 5", res.Best.TimeCutoff)
+	}
+	if res.Best.SpaceCutoff[0] != 100 || res.Best.SpaceCutoff[1] != 32 {
+		t.Fatalf("space cutoffs %v, want [100 32]", res.Best.SpaceCutoff)
+	}
+	if res.BestCost != 1 {
+		t.Fatalf("best cost %v, want 1", res.BestCost)
+	}
+	if res.Evals == 0 {
+		t.Fatal("no evaluations recorded")
+	}
+}
+
+func TestSearchRespectsCandidates(t *testing.T) {
+	res := Search(1, Config{TimeCutoff: 1, SpaceCutoff: []int{0}}, bowl1, Options{
+		TimeCandidates:  []int{1, 7},
+		SpaceCandidates: []int{0, 50},
+	})
+	if res.Best.TimeCutoff != 7 || res.Best.SpaceCutoff[0] != 50 {
+		t.Fatalf("best %+v; candidates restricted to {1,7}x{0,50}", res.Best)
+	}
+}
+
+func bowl1(c Config) time.Duration {
+	d := func(a, b int) int64 {
+		v := int64(a - b)
+		return v * v
+	}
+	return time.Duration(d(c.TimeCutoff, 5)*1000 + d(c.SpaceCutoff[0], 100) + 1)
+}
+
+func TestSearchDoesNotRegress(t *testing.T) {
+	// Starting at the optimum must stay there.
+	res := Search(2, Config{TimeCutoff: 5, SpaceCutoff: []int{100, 32}}, bowl, Options{})
+	if res.Best.TimeCutoff != 5 || res.Best.SpaceCutoff[0] != 100 || res.Best.SpaceCutoff[1] != 32 {
+		t.Fatalf("regressed from the optimum: %+v", res.Best)
+	}
+}
+
+func TestSearchZeroInitial(t *testing.T) {
+	res := Search(1, Config{}, bowl1, Options{MaxPasses: 1})
+	if res.Best.TimeCutoff < 1 {
+		t.Fatal("time cutoff must be at least 1")
+	}
+}

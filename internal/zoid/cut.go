@@ -1,0 +1,237 @@
+package zoid
+
+// This file implements the three decomposition primitives of TRAP:
+// parallel space cuts (Fig. 7a/7b), time cuts (Fig. 7c), and hyperspace
+// cuts with dependency-level assignment (Lemma 1). It also implements the
+// "circle cut" used by the unified periodic/nonperiodic scheme of §4: a
+// spatial dimension that still spans its full periodic extent with zero
+// slopes is cut into two black zoids and two gray zoids, one of the grays
+// wrapping the seam in virtual coordinates (xa > true xb represented as
+// (xa, N + xb), exactly as the paper describes).
+
+// CanSpaceCut reports whether a parallel space cut may be applied along
+// dimension i of z for a stencil with the given slope in that dimension.
+//
+// The paper's pseudocode (Fig. 2, line 5) states the condition for the
+// top-level zero-slope case as w >= 2*sigma*dt. For zoids whose sides
+// already move at +-sigma, trisecting the longer base in half is only
+// guaranteed to yield well-defined black subzoids when the longer base is
+// at least 4*sigma*dt (each half must absorb up to 2*sigma*dt of slope
+// motion). The production Pochoir implementation uses this same threshold
+// (thres = 2*slope*lt, cut when base >= 2*thres); we follow it.
+//
+// minWidth, when positive, suppresses cuts on already-narrow zoids and is
+// the space-coarsening knob of §4 ("Coarsening of base cases").
+func (z Zoid) CanSpaceCut(i, slope, minWidth int) bool {
+	if slope <= 0 {
+		return false
+	}
+	w := z.Width(i)
+	if minWidth > 0 && w <= minWidth {
+		return false
+	}
+	return w >= 4*slope*z.Height()
+}
+
+// SpaceCut trisects z along dimension i per Fig. 7, returning the three
+// subzoids in label order 1,2,3 (labels 1 and 3 are the "black" zoids, label
+// 2 the "gray" minimal zoid) together with the uprightness of the projection
+// trapezoid that was cut. For an upright projection the blacks precede the
+// gray; for an inverted projection the gray precedes the blacks. The caller
+// is responsible for having checked CanSpaceCut.
+func (z Zoid) SpaceCut(i, slope int) (sub [3]Zoid, upright bool) {
+	dt := z.Height()
+	upright = z.Upright(i)
+	sub[0], sub[1], sub[2] = z, z, z
+	if upright {
+		// Split the bottom (longer) base at its midpoint. The black
+		// halves shrink inward at +-slope; the gray triangle grows
+		// outward from the midpoint and is processed after them.
+		mid := z.Lo[i] + z.BottomBase(i)/2
+		sub[0].Hi[i], sub[0].DHi[i] = mid, -slope // black left
+		sub[1].Lo[i], sub[1].DLo[i] = mid, -slope // gray middle
+		sub[1].Hi[i], sub[1].DHi[i] = mid, +slope
+		sub[2].Lo[i], sub[2].DLo[i] = mid, +slope // black right
+		return sub, true
+	}
+	// Inverted: split the top (longer) base at its midpoint and project the
+	// cut lines down at +-slope. The gray triangle at the bottom middle is
+	// processed before the two black zoids that widen over it.
+	ua := z.Lo[i] + z.DLo[i]*dt
+	ub := z.Hi[i] + z.DHi[i]*dt
+	um := ua + (ub-ua)/2
+	sub[0].Hi[i], sub[0].DHi[i] = um-slope*dt, +slope // black left
+	sub[1].Lo[i], sub[1].DLo[i] = um-slope*dt, +slope // gray middle
+	sub[1].Hi[i], sub[1].DHi[i] = um+slope*dt, -slope
+	sub[2].Lo[i], sub[2].DLo[i] = um+slope*dt, -slope // black right
+	return sub, false
+}
+
+// IsFullCircle reports whether dimension i of z still spans the whole
+// periodic extent n with zero slopes — the only situation in which a wrap
+// around the torus is possible and a CircleCut is required instead of an
+// ordinary trisection.
+func (z Zoid) IsFullCircle(i, n int) bool {
+	return z.Lo[i] == 0 && z.Hi[i] == n && z.DLo[i] == 0 && z.DHi[i] == 0
+}
+
+// CanCircleCut reports whether the full periodic dimension i (of extent n)
+// can be cut. Each of the two black halves must stay well-defined while
+// shrinking at +-slope from a base of n/2, which requires n >= 4*slope*dt,
+// the same threshold as CanSpaceCut.
+func (z Zoid) CanCircleCut(i, slope, n, minWidth int) bool {
+	if slope <= 0 {
+		return false
+	}
+	if minWidth > 0 && n <= minWidth {
+		return false
+	}
+	return n >= 4*slope*z.Height()
+}
+
+// CircleCut cuts the full periodic dimension i (extent n) into four pieces:
+// two black zoids shrinking away from the cut lines at 0 and n/2, processed
+// first in parallel, and two gray triangles growing over the cut lines,
+// processed second in parallel. The gray covering the seam at 0==n is
+// expressed in virtual coordinates [n, n) growing to [n-s*dt, n+s*dt); the
+// base-case boundary clone reduces virtual coordinates modulo n.
+// The pieces are returned with their dependency contributions (0 for the
+// blacks, 1 for the grays), composable with trisections in a hyperspace cut.
+func (z Zoid) CircleCut(i, slope, n int) (sub [4]Zoid, contrib [4]int) {
+	mid := n / 2
+	sub[0], sub[1], sub[2], sub[3] = z, z, z, z
+	// Black A: [0, mid) shrinking inward.
+	sub[0].Lo[i], sub[0].DLo[i] = 0, +slope
+	sub[0].Hi[i], sub[0].DHi[i] = mid, -slope
+	// Black B: [mid, n) shrinking inward.
+	sub[1].Lo[i], sub[1].DLo[i] = mid, +slope
+	sub[1].Hi[i], sub[1].DHi[i] = n, -slope
+	// Gray at mid: grows outward over the interior cut line.
+	sub[2].Lo[i], sub[2].DLo[i] = mid, -slope
+	sub[2].Hi[i], sub[2].DHi[i] = mid, +slope
+	// Gray at the seam: grows outward over 0==n in virtual coordinates.
+	sub[3].Lo[i], sub[3].DLo[i] = n, -slope
+	sub[3].Hi[i], sub[3].DHi[i] = n, +slope
+	contrib = [4]int{0, 0, 1, 1}
+	return sub, contrib
+}
+
+// TimeCut halves z at the midpoint of its time dimension (Fig. 7c),
+// returning the lower subzoid (which must be processed first) and the upper.
+func (z Zoid) TimeCut() (lower, upper Zoid) {
+	return z.TimeCutAt(z.Height() / 2)
+}
+
+// TimeCutAt cuts z after the first h time steps. It is used by coarsened
+// walkers whose time threshold is not a power-of-two divisor of the height.
+func (z Zoid) TimeCutAt(h int) (lower, upper Zoid) {
+	lower, upper = z, z
+	lower.T1 = z.T0 + h
+	upper.T0 = z.T0 + h
+	for i := 0; i < z.N; i++ {
+		upper.Lo[i] = z.Lo[i] + z.DLo[i]*h
+		upper.Hi[i] = z.Hi[i] + z.DHi[i]*h
+	}
+	return lower, upper
+}
+
+// CutKind selects the decomposition applied along one dimension of a
+// hyperspace cut.
+type CutKind int
+
+const (
+	// CutTrisect is the ordinary parallel space cut of Fig. 7(a)/(b).
+	CutTrisect CutKind = iota
+	// CutCircle is the periodic full-extent cut (see CircleCut).
+	CutCircle
+)
+
+// Cut names one dimension participating in a hyperspace cut.
+type Cut struct {
+	Dim   int
+	Slope int
+	Kind  CutKind
+	Size  int // periodic extent; used by CutCircle only
+}
+
+// Levels holds the subzoids of a hyperspace cut grouped by dependency level:
+// Levels.Zoids[l] are the zoids with dep = l, which are mutually independent
+// and may be processed in parallel once all zoids of levels < l have
+// completed (Lemma 1).
+type Levels struct {
+	Zoids  [][]Zoid
+	NumCut int // k, the number of dimensions that were cut
+}
+
+// Total returns the total number of subzoids across all levels.
+func (lv Levels) Total() int {
+	n := 0
+	for _, zs := range lv.Zoids {
+		n += len(zs)
+	}
+	return n
+}
+
+// HyperspaceCut applies parallel space cuts simultaneously along every
+// dimension listed in cuts (each of which must satisfy CanSpaceCut or
+// CanCircleCut as appropriate), producing the full set of subzoids (3 per
+// trisected dimension, 4 per circle-cut dimension) and assigning each its
+// dependency level per Lemma 1:
+//
+//	dep(u) = sum_i (u_i + I_i) mod 2
+//
+// where the per-dimension contribution is 0 for pieces that may run in the
+// first parallel step along that dimension (blacks of an upright or circle
+// cut, gray of an inverted cut) and 1 for the pieces that must wait.
+// The k+1 levels returned are in processing order.
+func HyperspaceCut(z Zoid, cuts []Cut) Levels {
+	k := len(cuts)
+	var pieces [MaxDims][]Zoid
+	var contribs [MaxDims][]int
+	for j, c := range cuts {
+		switch c.Kind {
+		case CutCircle:
+			sub, con := z.CircleCut(c.Dim, c.Slope, c.Size)
+			pieces[j] = sub[:]
+			contribs[j] = con[:]
+		default:
+			sub, upright := z.SpaceCut(c.Dim, c.Slope)
+			pieces[j] = sub[:]
+			if upright {
+				// blacks (labels 1,3) first, gray (label 2) second
+				contribs[j] = []int{0, 1, 0}
+			} else {
+				// gray first, blacks second
+				contribs[j] = []int{1, 0, 1}
+			}
+		}
+	}
+	lv := Levels{NumCut: k, Zoids: make([][]Zoid, k+1)}
+	total := 1
+	for j := 0; j < k; j++ {
+		total *= len(pieces[j])
+	}
+	var digits [MaxDims]int
+	for code := 0; code < total; code++ {
+		sz := z
+		dep := 0
+		for j := 0; j < k; j++ {
+			u := digits[j]
+			piece := pieces[j][u]
+			d := cuts[j].Dim
+			sz.Lo[d], sz.Hi[d] = piece.Lo[d], piece.Hi[d]
+			sz.DLo[d], sz.DHi[d] = piece.DLo[d], piece.DHi[d]
+			dep += contribs[j][u]
+		}
+		lv.Zoids[dep] = append(lv.Zoids[dep], sz)
+		// Advance mixed-radix digits.
+		for j := 0; j < k; j++ {
+			digits[j]++
+			if digits[j] < len(pieces[j]) {
+				break
+			}
+			digits[j] = 0
+		}
+	}
+	return lv
+}

@@ -1,0 +1,303 @@
+package zoid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestHyperspaceCutCounts verifies Lemma 1's structural claims: cutting k
+// dimensions yields 3^k subzoids (4 per circle-cut dimension) spread over
+// exactly k+1 dependency levels, and the level populations follow the
+// binomial pattern implied by the dep formula.
+func TestHyperspaceCutCounts(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		sizes := make([]int, k)
+		for i := range sizes {
+			sizes[i] = 64
+		}
+		z := Box(0, 4, sizes)
+		cuts := make([]Cut, k)
+		for i := range cuts {
+			cuts[i] = Cut{Dim: i, Slope: 1}
+		}
+		lv := HyperspaceCut(z, cuts)
+		want := 1
+		for i := 0; i < k; i++ {
+			want *= 3
+		}
+		if lv.Total() != want {
+			t.Fatalf("k=%d: %d subzoids, want %d", k, lv.Total(), want)
+		}
+		if len(lv.Zoids) != k+1 {
+			t.Fatalf("k=%d: %d levels, want %d", k, len(lv.Zoids), k+1)
+		}
+		for l, zs := range lv.Zoids {
+			if len(zs) == 0 {
+				t.Fatalf("k=%d: level %d empty", k, l)
+			}
+			// Level l holds C(k,l) gray-choices x 2^(k-l) black-choices.
+			binom := 1
+			for i := 0; i < l; i++ {
+				binom = binom * (k - i) / (i + 1)
+			}
+			wantL := binom << (k - l)
+			if len(zs) != wantL {
+				t.Fatalf("k=%d level %d: %d zoids, want %d", k, l, len(zs), wantL)
+			}
+		}
+	}
+}
+
+func TestHyperspaceCutVolume(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		d := 1 + rng.Intn(3)
+		z := randomZoid(rng, d, 1)
+		var cuts []Cut
+		for i := 0; i < d; i++ {
+			if z.CanSpaceCut(i, 1, 0) {
+				cuts = append(cuts, Cut{Dim: i, Slope: 1})
+			}
+		}
+		if len(cuts) == 0 {
+			continue
+		}
+		lv := HyperspaceCut(z, cuts)
+		var vol int64
+		for _, zs := range lv.Zoids {
+			for _, s := range zs {
+				vol += s.Volume()
+			}
+		}
+		if vol != z.Volume() {
+			t.Fatalf("hyperspace cut volume %d != parent %d for %v", vol, z.Volume(), z)
+		}
+	}
+}
+
+func TestHyperspaceCutDisjointCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tested := 0
+	for iter := 0; iter < 500 && tested < 40; iter++ {
+		z := randomZoid(rng, 2, 1)
+		if z.Volume() > 30000 {
+			continue
+		}
+		var cuts []Cut
+		for i := 0; i < 2; i++ {
+			if z.CanSpaceCut(i, 1, 0) {
+				cuts = append(cuts, Cut{Dim: i, Slope: 1})
+			}
+		}
+		if len(cuts) != 2 {
+			continue
+		}
+		tested++
+		lv := HyperspaceCut(z, cuts)
+		var all []Zoid
+		for _, zs := range lv.Zoids {
+			all = append(all, zs...)
+		}
+		checkDisjointCover(t, z, all)
+	}
+	if tested < 10 {
+		t.Fatalf("only exercised %d hyperspace cuts", tested)
+	}
+}
+
+// TestDependencyLevelsRespectDataFlow is the heart of Lemma 1: for every
+// pair of points p (in subzoid A) and q (in subzoid B) where p at time t
+// depends on q at time t-1 (within slope distance), either A == B or
+// level(B) < level(A). In particular, same-level subzoids are independent.
+func TestDependencyLevelsRespectDataFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	slope := 1
+	tested := 0
+	for iter := 0; iter < 600 && tested < 30; iter++ {
+		z := randomZoid(rng, 2, slope)
+		if z.Volume() > 15000 || z.Height() < 2 {
+			continue
+		}
+		var cuts []Cut
+		for i := 0; i < 2; i++ {
+			if z.CanSpaceCut(i, slope, 0) {
+				cuts = append(cuts, Cut{Dim: i, Slope: slope})
+			}
+		}
+		if len(cuts) == 0 {
+			continue
+		}
+		tested++
+		lv := HyperspaceCut(z, cuts)
+		type owner struct{ level, id int }
+		find := func(tt, x, y int) (owner, bool) {
+			for l, zs := range lv.Zoids {
+				for id, c := range zs {
+					if c.Contains(tt, []int{x, y}) {
+						return owner{l, l*1000 + id}, true
+					}
+				}
+			}
+			return owner{}, false
+		}
+		for tt := z.T0 + 1; tt < z.T1; tt++ {
+			dt := tt - z.T0
+			for x := z.Lo[0] + z.DLo[0]*dt; x < z.Hi[0]+z.DHi[0]*dt; x++ {
+				for y := z.Lo[1] + z.DLo[1]*dt; y < z.Hi[1]+z.DHi[1]*dt; y++ {
+					p, ok := find(tt, x, y)
+					if !ok {
+						t.Fatalf("point (%d,%d,%d) not covered", tt, x, y)
+					}
+					for dx := -slope; dx <= slope; dx++ {
+						for dy := -slope; dy <= slope; dy++ {
+							q, ok := find(tt-1, x+dx, y+dy)
+							if !ok {
+								continue // dependency satisfied outside this cut
+							}
+							if q.id != p.id && q.level >= p.level {
+								t.Fatalf("dependency violation: (%d,%d,%d)@L%d reads (%d,%d,%d)@L%d in %v",
+									tt, x, y, p.level, tt-1, x+dx, y+dy, q.level, z)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if tested < 10 {
+		t.Fatalf("only exercised %d zoids", tested)
+	}
+}
+
+// TestCircleCutDependencies checks the unified-periodic cut: grays depend
+// on blacks but blacks never depend on grays or each other, including
+// across the wrapped seam.
+func TestCircleCutDependencies(t *testing.T) {
+	n, h, slope := 24, 6, 1
+	z := Box(0, h, []int{n})
+	sub, contrib := z.CircleCut(0, slope, n)
+	find := func(tt, x int) (int, int) { // returns (piece index, contribution)
+		for i, c := range sub {
+			if c.Contains(tt, []int{x}) || c.Contains(tt, []int{x + n}) {
+				return i, contrib[i]
+			}
+		}
+		t.Fatalf("point (%d,%d) unowned", tt, x)
+		return -1, -1
+	}
+	for tt := 1; tt < h; tt++ {
+		for x := 0; x < n; x++ {
+			pi, pc := find(tt, x)
+			for dx := -slope; dx <= slope; dx++ {
+				qx := ((x+dx)%n + n) % n
+				qi, qc := find(tt-1, qx)
+				if qi != pi && qc >= pc {
+					t.Fatalf("circle-cut dependency violation: (%d,%d) piece %d (c=%d) reads (%d,%d) piece %d (c=%d)",
+						tt, x, pi, pc, tt-1, qx, qi, qc)
+				}
+			}
+		}
+	}
+}
+
+// TestHyperspaceWithCircleCut combines a circle cut with a trisection in a
+// single hyperspace cut and validates volume and data-flow ordering.
+func TestHyperspaceWithCircleCut(t *testing.T) {
+	nx, ny, h := 24, 40, 5
+	z := Box(0, h, []int{nx, ny})
+	// Pretend dim 0 is a full periodic circle and dim 1 was already
+	// trisected down to a plain trapezoid: cut both.
+	cuts := []Cut{
+		{Dim: 0, Slope: 1, Kind: CutCircle, Size: nx},
+		{Dim: 1, Slope: 1, Kind: CutTrisect},
+	}
+	lv := HyperspaceCut(z, cuts)
+	if lv.Total() != 4*3 {
+		t.Fatalf("expected 12 subzoids, got %d", lv.Total())
+	}
+	if len(lv.Zoids) != 3 {
+		t.Fatalf("expected 3 levels, got %d", len(lv.Zoids))
+	}
+	var vol int64
+	for _, zs := range lv.Zoids {
+		for _, s := range zs {
+			vol += s.Volume()
+		}
+	}
+	if vol != z.Volume() {
+		t.Fatalf("volume %d != %d", vol, z.Volume())
+	}
+	// Data-flow check with dim-0 wraparound and dim-1 plain.
+	type owner struct{ level, id int }
+	find := func(tt, x, y int) (owner, bool) {
+		for l, zs := range lv.Zoids {
+			for id, c := range zs {
+				for _, xx := range [...]int{x, x + nx} {
+					if c.Contains(tt, []int{xx, y}) {
+						return owner{l, l*1000 + id}, true
+					}
+				}
+			}
+		}
+		return owner{}, false
+	}
+	for tt := 1; tt < h; tt++ {
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				p, ok := find(tt, x, y)
+				if !ok {
+					t.Fatalf("point (%d,%d,%d) unowned", tt, x, y)
+				}
+				for dx := -1; dx <= 1; dx++ {
+					for dy := -1; dy <= 1; dy++ {
+						qx := ((x+dx)%nx + nx) % nx
+						qy := y + dy
+						if qy < 0 || qy >= ny {
+							continue // nonperiodic edge in dim 1
+						}
+						q, ok := find(tt-1, qx, qy)
+						if !ok {
+							continue
+						}
+						if q.id != p.id && q.level >= p.level {
+							t.Fatalf("violation at (%d,%d,%d)@L%d <- (%d,%d,%d)@L%d",
+								tt, x, y, p.level, tt-1, qx, qy, q.level)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: SpaceCut never changes height or the untouched dimensions.
+func TestSpaceCutPreservesOtherDims(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		z := randomZoid(rng, 3, 1)
+		i := rng.Intn(3)
+		if !z.CanSpaceCut(i, 1, 0) {
+			return true
+		}
+		sub, _ := z.SpaceCut(i, 1)
+		for _, s := range sub {
+			if s.T0 != z.T0 || s.T1 != z.T1 {
+				return false
+			}
+			for d := 0; d < 3; d++ {
+				if d == i {
+					continue
+				}
+				if s.Lo[d] != z.Lo[d] || s.Hi[d] != z.Hi[d] ||
+					s.DLo[d] != z.DLo[d] || s.DHi[d] != z.DHi[d] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,344 @@
+package zoid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4, []int{0}, []int{8}, []int{0}, []int{0, 1}); err == nil {
+		t.Fatal("mismatched slices should error")
+	}
+	lo := make([]int, MaxDims+1)
+	if _, err := New(0, 4, lo, lo, lo, lo); err == nil {
+		t.Fatal("too many dims should error")
+	}
+	z, err := New(2, 6, []int{1, 2}, []int{9, 10}, []int{1, 0}, []int{-1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Height() != 4 || z.N != 2 {
+		t.Fatalf("bad zoid %v", z)
+	}
+}
+
+func TestBoxProperties(t *testing.T) {
+	z := Box(0, 10, []int{8, 6})
+	if z.Volume() != 10*8*6 {
+		t.Fatalf("volume = %d, want %d", z.Volume(), 480)
+	}
+	if !z.WellDefined() {
+		t.Fatal("box should be well-defined")
+	}
+	for i := 0; i < 2; i++ {
+		if !z.Upright(i) {
+			t.Fatalf("box dim %d should be upright (equal bases)", i)
+		}
+		if z.MinimalDim(i) {
+			t.Fatalf("box dim %d should not be minimal", i)
+		}
+	}
+	if z.Width(0) != 8 || z.Width(1) != 6 {
+		t.Fatal("bad widths")
+	}
+}
+
+func TestBasesAndExtremes(t *testing.T) {
+	// Inverted trapezoid: expands from [4,6) to [0,10) over height 4.
+	z, _ := New(0, 4, []int{4}, []int{6}, []int{-1}, []int{1})
+	if z.BottomBase(0) != 2 || z.TopBase(0) != 10 {
+		t.Fatalf("bases %d/%d", z.BottomBase(0), z.TopBase(0))
+	}
+	if z.Upright(0) {
+		t.Fatal("should be inverted")
+	}
+	if z.Width(0) != 10 {
+		t.Fatal("width should be longer base")
+	}
+	minLo, maxHi := z.Extremes(0)
+	// Executed steps are t=0..3, so bounds reach [1,9) at t=3.
+	if minLo != 1 || maxHi != 9 {
+		t.Fatalf("extremes (%d,%d), want (1,9)", minLo, maxHi)
+	}
+}
+
+func TestContains(t *testing.T) {
+	z, _ := New(0, 4, []int{4}, []int{6}, []int{-1}, []int{1})
+	cases := []struct {
+		t    int
+		x    int
+		want bool
+	}{
+		{0, 4, true}, {0, 5, true}, {0, 3, false}, {0, 6, false},
+		{3, 1, true}, {3, 8, true}, {3, 0, false}, {3, 9, false},
+		{4, 5, false}, {-1, 5, false},
+	}
+	for _, c := range cases {
+		if got := z.Contains(c.t, []int{c.x}); got != c.want {
+			t.Errorf("Contains(%d,%d) = %v, want %v", c.t, c.x, got, c.want)
+		}
+	}
+}
+
+func TestMinimal(t *testing.T) {
+	// Upright triangle shrinking to nothing: minimal.
+	z, _ := New(0, 3, []int{0}, []int{6}, []int{1}, []int{-1})
+	if !z.MinimalDim(0) || !z.Minimal() {
+		t.Fatal("shrinking-to-zero trapezoid should be minimal")
+	}
+	// Gray growing triangle: minimal (inverted, zero bottom base).
+	g, _ := New(0, 3, []int{5}, []int{5}, []int{-1}, []int{1})
+	if !g.Minimal() {
+		t.Fatal("growing triangle should be minimal")
+	}
+}
+
+// randomZoid produces a well-defined zoid by starting from a random box and
+// applying a few random legal cuts, yielding realistic slope combinations.
+func randomZoid(rng *rand.Rand, ndims, slope int) Zoid {
+	sizes := make([]int, ndims)
+	for i := range sizes {
+		sizes[i] = 8 + rng.Intn(64)
+	}
+	h := 1 + rng.Intn(12)
+	z := Box(0, h, sizes)
+	for depth := 0; depth < 4; depth++ {
+		// Try a random cut.
+		switch rng.Intn(3) {
+		case 0: // space cut on a random dim
+			i := rng.Intn(ndims)
+			if z.CanSpaceCut(i, slope, 0) {
+				sub, _ := z.SpaceCut(i, slope)
+				z = sub[rng.Intn(3)]
+			}
+		case 1: // time cut
+			if z.Height() > 1 {
+				lo, up := z.TimeCut()
+				if rng.Intn(2) == 0 {
+					z = lo
+				} else {
+					z = up
+				}
+			}
+		case 2: // keep
+		}
+	}
+	return z
+}
+
+// pointCount enumerates the zoid's points directly, cross-checking Volume.
+func pointCount(z Zoid) int64 {
+	var n int64
+	var x [MaxDims]int
+	var rec func(t, dim int)
+	rec = func(t, dim int) {
+		if dim == z.N {
+			n++
+			return
+		}
+		dt := t - z.T0
+		for v := z.Lo[dim] + z.DLo[dim]*dt; v < z.Hi[dim]+z.DHi[dim]*dt; v++ {
+			x[dim] = v
+			rec(t, dim+1)
+		}
+	}
+	for t := z.T0; t < z.T1; t++ {
+		rec(t, 0)
+	}
+	return n
+}
+
+func TestVolumeMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 200; iter++ {
+		ndims := 1 + rng.Intn(3)
+		z := randomZoid(rng, ndims, 1+rng.Intn(2))
+		if v, p := z.Volume(), pointCount(z); v != p {
+			t.Fatalf("%v: Volume=%d, enumeration=%d", z, v, p)
+		}
+	}
+}
+
+func TestSpaceCutInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tested := 0
+	for iter := 0; iter < 2000 && tested < 300; iter++ {
+		ndims := 1 + rng.Intn(3)
+		slope := 1 + rng.Intn(2)
+		z := randomZoid(rng, ndims, slope)
+		i := rng.Intn(ndims)
+		if !z.CanSpaceCut(i, slope, 0) {
+			continue
+		}
+		tested++
+		sub, upright := z.SpaceCut(i, slope)
+		if upright != z.Upright(i) {
+			t.Fatalf("uprightness mismatch for %v", z)
+		}
+		var vol int64
+		for j, s := range sub {
+			if s.Height() != z.Height() {
+				t.Fatalf("child %d height changed", j)
+			}
+			// Children must be geometrically sound: nonnegative bases.
+			for d := 0; d < s.N; d++ {
+				if s.BottomBase(d) < 0 || s.TopBase(d) < 0 {
+					t.Fatalf("child %d of %v ill-defined: %v", j, z, s)
+				}
+			}
+			vol += s.Volume()
+		}
+		if vol != z.Volume() {
+			t.Fatalf("space cut volume %d != parent %d for %v", vol, z.Volume(), z)
+		}
+		// The gray child must be minimal along the cut dimension.
+		if !sub[1].MinimalDim(i) {
+			t.Fatalf("gray child not minimal along cut dim: %v", sub[1])
+		}
+	}
+	if tested < 100 {
+		t.Fatalf("only exercised %d cuts; generator too weak", tested)
+	}
+}
+
+func TestSpaceCutDisjointCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tested := 0
+	for iter := 0; iter < 2000 && tested < 100; iter++ {
+		z := randomZoid(rng, 2, 1)
+		i := rng.Intn(2)
+		if !z.CanSpaceCut(i, 1, 0) || z.Volume() > 20000 {
+			continue
+		}
+		tested++
+		sub, _ := z.SpaceCut(i, 1)
+		checkDisjointCover(t, z, sub[:])
+	}
+	if tested < 30 {
+		t.Fatalf("only exercised %d cuts", tested)
+	}
+}
+
+// checkDisjointCover verifies that children partition the parent exactly.
+func checkDisjointCover(t *testing.T, parent Zoid, children []Zoid) {
+	t.Helper()
+	var x [MaxDims]int
+	var rec func(tt, dim int)
+	rec = func(tt, dim int) {
+		if dim == parent.N {
+			owners := 0
+			for _, c := range children {
+				if c.Contains(tt, x[:parent.N]) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("point t=%d x=%v owned by %d children of %v", tt, x[:parent.N], owners, parent)
+			}
+			return
+		}
+		dt := tt - parent.T0
+		for v := parent.Lo[dim] + parent.DLo[dim]*dt; v < parent.Hi[dim]+parent.DHi[dim]*dt; v++ {
+			x[dim] = v
+			rec(tt, dim+1)
+		}
+	}
+	for tt := parent.T0; tt < parent.T1; tt++ {
+		rec(tt, 0)
+	}
+}
+
+func TestTimeCutInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 300; iter++ {
+		z := randomZoid(rng, 1+rng.Intn(3), 1)
+		if z.Height() < 2 {
+			continue
+		}
+		lo, up := z.TimeCut()
+		if lo.T1 != up.T0 || lo.T0 != z.T0 || up.T1 != z.T1 {
+			t.Fatalf("time cut extents wrong: %v -> %v / %v", z, lo, up)
+		}
+		if lo.Volume()+up.Volume() != z.Volume() {
+			t.Fatalf("time cut volume mismatch for %v", z)
+		}
+		// Upper zoid's bases must equal parent bounds evaluated at the cut.
+		h := lo.Height()
+		for i := 0; i < z.N; i++ {
+			if up.Lo[i] != z.Lo[i]+z.DLo[i]*h || up.Hi[i] != z.Hi[i]+z.DHi[i]*h {
+				t.Fatalf("upper zoid bases wrong for %v", z)
+			}
+		}
+	}
+}
+
+func TestCircleCutInvariants(t *testing.T) {
+	for _, n := range []int{16, 20, 33, 64, 100} {
+		for h := 1; h <= n/4; h *= 2 {
+			z := Box(0, h, []int{n})
+			if !z.CanCircleCut(0, 1, n, 0) {
+				t.Fatalf("n=%d h=%d should allow circle cut", n, h)
+			}
+			sub, contrib := z.CircleCut(0, 1, n)
+			if contrib != [4]int{0, 0, 1, 1} {
+				t.Fatalf("bad contributions %v", contrib)
+			}
+			var vol int64
+			for _, s := range sub {
+				vol += s.Volume()
+			}
+			if vol != z.Volume() {
+				t.Fatalf("circle cut volume %d != %d (n=%d h=%d)", vol, z.Volume(), n, h)
+			}
+			// Every true point must be covered exactly once after
+			// reducing virtual coordinates mod n.
+			for tt := 0; tt < h; tt++ {
+				for x := 0; x < n; x++ {
+					owners := 0
+					for _, c := range sub {
+						// Check both representations.
+						if c.Contains(tt, []int{x}) || c.Contains(tt, []int{x + n}) {
+							owners++
+						}
+					}
+					if owners != 1 {
+						t.Fatalf("n=%d h=%d point (%d,%d) owned %d times", n, h, tt, x, owners)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIsFullCircle(t *testing.T) {
+	z := Box(0, 4, []int{32, 32})
+	if !z.IsFullCircle(0, 32) || !z.IsFullCircle(1, 32) {
+		t.Fatal("box should be full circle in both dims")
+	}
+	sub, _ := z.SpaceCut(0, 1)
+	for _, s := range sub {
+		if s.IsFullCircle(0, 32) {
+			t.Fatal("children of a space cut are not full circles")
+		}
+	}
+}
+
+func TestCanSpaceCutThresholds(t *testing.T) {
+	z := Box(0, 4, []int{16}) // width 16, height 4: 16 >= 4*1*4
+	if !z.CanSpaceCut(0, 1, 0) {
+		t.Fatal("16 >= 16 should cut")
+	}
+	z2 := Box(0, 5, []int{16})
+	if z2.CanSpaceCut(0, 1, 0) {
+		t.Fatal("16 < 20 should not cut")
+	}
+	if z.CanSpaceCut(0, 0, 0) {
+		t.Fatal("zero slope never cuts")
+	}
+	if z.CanSpaceCut(0, 1, 16) {
+		t.Fatal("coarsening cutoff should suppress cut")
+	}
+	if !z.CanSpaceCut(0, 1, 15) {
+		t.Fatal("width above cutoff should cut")
+	}
+}

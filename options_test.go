@@ -1,0 +1,211 @@
+package pochoir_test
+
+import (
+	"testing"
+
+	"pochoir"
+)
+
+// refHeat1D advances a 1D heat grid independently of the engine.
+func refHeat1D(init []float64, n, steps int, periodic bool) []float64 {
+	cur := append([]float64(nil), init...)
+	next := make([]float64, n)
+	at := func(g []float64, i int) float64 {
+		if periodic {
+			return g[((i%n)+n)%n]
+		}
+		if i < 0 || i >= n {
+			return 0
+		}
+		return g[i]
+	}
+	for s := 0; s < steps; s++ {
+		for i := 0; i < n; i++ {
+			next[i] = 0.25 * (at(cur, i-1) + 2*cur[i] + at(cur, i+1))
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+func run1D(t *testing.T, n, steps int, periodic bool, opts pochoir.Options, specialized bool) []float64 {
+	t.Helper()
+	sh := pochoir.MustShape(1, [][]int{{1, 0}, {0, 0}, {0, 1}, {0, -1}})
+	st := pochoir.NewWithOptions[float64](sh, opts)
+	u := pochoir.MustArray[float64](sh.Depth(), n)
+	if periodic {
+		u.RegisterBoundary(pochoir.PeriodicBoundary[float64]())
+	} else {
+		u.RegisterBoundary(pochoir.ZeroBoundary[float64]())
+	}
+	st.MustRegisterArray(u)
+	init := randomGrid(n, 77)
+	if err := u.CopyIn(0, init); err != nil {
+		t.Fatal(err)
+	}
+	kern := pochoir.K1(func(tt, i int) {
+		u.Set(tt+1, 0.25*(u.Get(tt, i-1)+2*u.Get(tt, i)+u.Get(tt, i+1)), i)
+	})
+	if specialized {
+		// Hand interior clone in split-pointer style.
+		interior := func(z pochoir.Zoid) {
+			lo, hi := z.Lo[0], z.Hi[0]
+			for tt := z.T0; tt < z.T1; tt++ {
+				w, r := u.Slot(tt), u.Slot(tt-1)
+				dst := w[lo:hi]
+				cm, c, cp := r[lo-1:], r[lo:], r[lo+1:]
+				for i := range dst {
+					dst[i] = 0.25 * (cm[i] + 2*c[i] + cp[i])
+				}
+				lo += z.DLo[0]
+				hi += z.DHi[0]
+			}
+		}
+		if err := st.RunSpecialized(steps, pochoir.BaseKernels{
+			Interior: interior,
+			Boundary: st.GenericBase(kern),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	} else if err := st.Run(steps, kern); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, n)
+	if err := u.CopyOut(steps, out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestOptionMatrix1D sweeps the full option space on a 1D stencil against
+// the independent reference.
+func TestOptionMatrix1D(t *testing.T) {
+	n, steps := 301, 170
+	for _, periodic := range []bool{false, true} {
+		want := refHeat1D(randomGrid(n, 77), n, steps, periodic)
+		for _, specialized := range []bool{false, true} {
+			for _, opts := range []pochoir.Options{
+				{},
+				{Serial: true},
+				{Algorithm: 1},
+				{Algorithm: 1, Serial: true},
+				{TimeCutoff: 1, SpaceCutoff: []int{1}},
+				{TimeCutoff: 7, SpaceCutoff: []int{13}, Grain: 1},
+				{NoUnifiedPeriodic: !periodic}, // box decomposition (nonperiodic only)
+			} {
+				if opts.NoUnifiedPeriodic && periodic {
+					continue
+				}
+				got := run1D(t, n, steps, periodic, opts, specialized)
+				if d := maxAbsDiff(got, want); d > 1e-12 {
+					t.Fatalf("periodic=%v specialized=%v opts=%+v: diff %g",
+						periodic, specialized, opts, d)
+				}
+			}
+		}
+	}
+}
+
+// TestGenericBaseAsBoundaryOnly: RunSpecialized with only a boundary clone
+// must still be correct (the modular-indexing ablation configuration).
+func TestGenericBaseAsBoundaryOnly(t *testing.T) {
+	n, steps := 200, 60
+	want := refHeat1D(randomGrid(n, 77), n, steps, true)
+	sh := pochoir.MustShape(1, [][]int{{1, 0}, {0, 0}, {0, 1}, {0, -1}})
+	st := pochoir.New[float64](sh)
+	u := pochoir.MustArray[float64](sh.Depth(), n)
+	u.RegisterBoundary(pochoir.PeriodicBoundary[float64]())
+	st.MustRegisterArray(u)
+	if err := u.CopyIn(0, randomGrid(n, 77)); err != nil {
+		t.Fatal(err)
+	}
+	kern := pochoir.K1(func(tt, i int) {
+		u.Set(tt+1, 0.25*(u.Get(tt, i-1)+2*u.Get(tt, i)+u.Get(tt, i+1)), i)
+	})
+	if err := st.RunSpecialized(steps, pochoir.BaseKernels{Boundary: st.GenericBase(kern)}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, n)
+	if err := u.CopyOut(steps, got); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(got, want); d > 1e-12 {
+		t.Fatalf("boundary-only run differs by %g", d)
+	}
+}
+
+func TestRunSpecializedRequiresBoundary(t *testing.T) {
+	sh := pochoir.MustShape(1, [][]int{{1, 0}, {0, 0}})
+	st := pochoir.New[float64](sh)
+	u := pochoir.MustArray[float64](sh.Depth(), 8)
+	st.MustRegisterArray(u)
+	if err := st.RunSpecialized(1, pochoir.BaseKernels{}); err == nil {
+		t.Fatal("missing boundary clone must be rejected")
+	}
+}
+
+// TestKernelAdapters verifies K1..K4 argument plumbing.
+func TestKernelAdapters(t *testing.T) {
+	var got []int
+	pochoir.K1(func(t, x int) { got = []int{t, x} })(9, []int{1})
+	if got[0] != 9 || got[1] != 1 {
+		t.Fatal("K1")
+	}
+	pochoir.K2(func(t, x, y int) { got = []int{t, x, y} })(9, []int{1, 2})
+	if got[2] != 2 {
+		t.Fatal("K2")
+	}
+	pochoir.K3(func(t, x, y, z int) { got = []int{t, x, y, z} })(9, []int{1, 2, 3})
+	if got[3] != 3 {
+		t.Fatal("K3")
+	}
+	pochoir.K4(func(t, x, y, z, w int) { got = []int{t, x, y, z, w} })(9, []int{1, 2, 3, 4})
+	if got[4] != 4 {
+		t.Fatal("K4")
+	}
+}
+
+// TestBoundaryHelpers verifies each stock boundary function's values.
+func TestBoundaryHelpers(t *testing.T) {
+	u := pochoir.MustArray[float64](1, 4)
+	for i := 0; i < 4; i++ {
+		u.Set(0, float64(i+1), i)
+	}
+	if v := pochoir.PeriodicBoundary[float64]()(u, 0, []int{-1}); v != 4 {
+		t.Fatalf("periodic: %v", v)
+	}
+	if v := pochoir.NeumannBoundary[float64]()(u, 0, []int{9}); v != 4 {
+		t.Fatalf("neumann: %v", v)
+	}
+	if v := pochoir.ConstBoundary(2.5)(u, 0, []int{-1}); v != 2.5 {
+		t.Fatalf("const: %v", v)
+	}
+	if v := pochoir.ZeroBoundary[float64]()(u, 0, []int{-1}); v != 0 {
+		t.Fatalf("zero: %v", v)
+	}
+	d := pochoir.DirichletBoundary(func(tt int, idx []int) float64 { return float64(tt) + float64(idx[0]) })
+	if v := d(u, 3, []int{-2}); v != 1 {
+		t.Fatalf("dirichlet: %v", v)
+	}
+}
+
+// TestStencilMetadata covers the remaining accessors.
+func TestStencilMetadata(t *testing.T) {
+	sh := pochoir.MustShape(2, [][]int{{1, 0, 0}, {0, 0, 0}})
+	st := pochoir.New[float64](sh)
+	if st.Shape() != sh {
+		t.Fatal("Shape accessor")
+	}
+	a := pochoir.MustArray[float64](1, 4, 6)
+	st.MustRegisterArray(a)
+	if len(st.Arrays()) != 1 {
+		t.Fatal("Arrays accessor")
+	}
+	if s := st.Sizes(); s[0] != 4 || s[1] != 6 {
+		t.Fatal("Sizes accessor")
+	}
+	st.Reset()
+	if st.StepsRun() != 0 {
+		t.Fatal("Reset")
+	}
+}

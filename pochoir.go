@@ -1,0 +1,351 @@
+// Package pochoir is a Go implementation of the Pochoir stencil compiler
+// and runtime system (Tang, Chowdhury, Kuszmaul, Luk, Leiserson,
+// "The Pochoir Stencil Compiler", SPAA 2011).
+//
+// A stencil computation repeatedly updates every point of a d-dimensional
+// grid as a function of itself and its near neighbors. Pochoir executes such
+// computations with TRAP, a parallel cache-oblivious algorithm based on
+// trapezoidal decompositions extended with hyperspace cuts, which yields
+// asymptotically more parallelism than earlier decompositions at the same
+// cache complexity.
+//
+// The package mirrors the paper's two-phase methodology:
+//
+//   - Phase 1 ("template library"): declare a Shape, allocate Arrays,
+//     register a Boundary function, write the kernel as an ordinary Go
+//     function, and call Run. The kernel executes through checked
+//     accessors; RunChecked additionally enforces the Pochoir Guarantee
+//     (every access must lie within the declared shape).
+//
+//   - Phase 2 ("compiled"): obtain specialized base-case kernels — either
+//     hand-written or emitted by the stencil compiler in internal/compiler
+//     (driver: cmd/pochoirgen) — and call RunSpecialized. The engine,
+//     decomposition, and scheduling are identical; only the base case is
+//     faster, exactly as in the paper.
+//
+// A minimal 2D heat equation (the paper's Fig. 6 program):
+//
+//	sh := pochoir.MustShape(2, [][]int{{1, 0, 0}, {0, 0, 0},
+//	        {0, 1, 0}, {0, -1, 0}, {0, 0, -1}, {0, 0, 1}})
+//	heat := pochoir.New[float64](sh)
+//	u := pochoir.MustArray[float64](sh.Depth(), X, Y)
+//	u.RegisterBoundary(pochoir.PeriodicBoundary[float64]())
+//	heat.RegisterArray(u)
+//	kern := pochoir.K2(func(t, x, y int) {
+//	        u.Set(t+1, u.Get(t, x, y)+
+//	                cx*(u.Get(t, x+1, y)-2*u.Get(t, x, y)+u.Get(t, x-1, y))+
+//	                cy*(u.Get(t, x, y+1)-2*u.Get(t, x, y)+u.Get(t, x, y-1)), x, y)
+//	})
+//	if err := heat.Run(T, kern); err != nil { ... }
+//	// results are read from u at time T+sh.Depth()-1
+package pochoir
+
+import (
+	"fmt"
+
+	"pochoir/internal/core"
+	"pochoir/internal/grid"
+	"pochoir/internal/shape"
+	"pochoir/internal/zoid"
+)
+
+// MaxDims is the maximum number of spatial dimensions supported.
+const MaxDims = zoid.MaxDims
+
+// Zoid is the space-time hypertrapezoid handed to base-case kernels: its
+// spatial bounds at time t are Lo[i]+DLo[i]*(t-T0) <= x < Hi[i]+DHi[i]*(t-T0).
+// Specialized (Phase-2) base kernels receive zoids and must walk their time
+// steps in order, advancing the bounds by the slopes after each step.
+type Zoid = zoid.Zoid
+
+// BaseFunc executes the base case of the recursion over one zoid.
+type BaseFunc = core.BaseFunc
+
+// Shape describes a stencil's memory footprint (Pochoir_Shape_dimD).
+type Shape = shape.Shape
+
+// Array is a Pochoir array (Pochoir_Array_dimD): a d-dimensional spatial
+// grid with a circular temporal buffer.
+type Array[T any] = grid.Array[T]
+
+// Boundary supplies values for off-domain accesses (Pochoir_Boundary_dimD).
+type Boundary[T any] = grid.Boundary[T]
+
+// NewShape validates and builds a stencil shape from its cells, each cell a
+// time offset followed by ndims spatial offsets. The first cell is the home
+// cell (the point written).
+func NewShape(ndims int, cells [][]int) (*Shape, error) { return shape.New(ndims, cells) }
+
+// MustShape is NewShape, panicking on error.
+func MustShape(ndims int, cells [][]int) *Shape { return shape.MustNew(ndims, cells) }
+
+// NewArray allocates a Pochoir array with depth+1 time slots and the given
+// spatial sizes (slowest-varying dimension first, unit-stride last).
+func NewArray[T any](depth int, sizes ...int) (*Array[T], error) {
+	return grid.NewArray[T](depth, sizes...)
+}
+
+// MustArray is NewArray, panicking on error.
+func MustArray[T any](depth int, sizes ...int) *Array[T] {
+	return grid.MustNewArray[T](depth, sizes...)
+}
+
+// Stencil holds the static information about a stencil computation
+// (Pochoir_dimD): the shape, the registered arrays, and execution options.
+type Stencil[T any] struct {
+	shape  *Shape
+	arrays []*Array[T]
+	sizes  []int
+
+	opts     Options
+	stepsRun int
+}
+
+// Options control how the engine decomposes and schedules the computation.
+// The zero value requests the paper's defaults: the TRAP algorithm with
+// hyperspace cuts, parallel execution, and the §4 coarsening heuristic.
+type Options struct {
+	// Algorithm selects TRAP (default) or STRAP decomposition.
+	Algorithm core.Algorithm
+	// Serial disables parallel execution (Pochoir on 1 core).
+	Serial bool
+	// TimeCutoff and SpaceCutoff override base-case coarsening; zero
+	// values select the paper's heuristic (§4): 100x100 space chunks
+	// with 5 time steps for 2D, 1000x3x3 with 3 time steps for 3D and
+	// above (never cutting the unit-stride dimension), and uncoarsened
+	// time with width 100 for 1D.
+	TimeCutoff  int
+	SpaceCutoff []int
+	// Grain is the minimum approximate subzoid volume processed on a
+	// fresh goroutine; zero selects core.DefaultGrain.
+	Grain int64
+	// NoUnifiedPeriodic disables the §4 virtual-coordinate circle cuts
+	// and decomposes the grid as a plain box. This is only valid for
+	// stencils with no wraparound dependencies (nonperiodic boundary
+	// functions); it exists for the ablation experiments.
+	NoUnifiedPeriodic bool
+}
+
+// New creates a stencil object for the given shape.
+func New[T any](sh *Shape) *Stencil[T] {
+	return &Stencil[T]{shape: sh}
+}
+
+// NewWithOptions creates a stencil object with explicit execution options.
+func NewWithOptions[T any](sh *Shape, opts Options) *Stencil[T] {
+	return &Stencil[T]{shape: sh, opts: opts}
+}
+
+// SetOptions replaces the execution options.
+func (s *Stencil[T]) SetOptions(opts Options) { s.opts = opts }
+
+// Shape returns the stencil's shape.
+func (s *Stencil[T]) Shape() *Shape { return s.shape }
+
+// RegisterArray informs the stencil that the array participates in its
+// computation (§2, Register_Array). All registered arrays must share the
+// stencil's dimensionality and the same spatial extents.
+func (s *Stencil[T]) RegisterArray(a *Array[T]) error {
+	if a.NDims() != s.shape.NDims {
+		return fmt.Errorf("pochoir: array has %d dimensions, stencil shape has %d", a.NDims(), s.shape.NDims)
+	}
+	if s.sizes == nil {
+		s.sizes = a.Sizes()
+	} else {
+		for i, n := range a.Sizes() {
+			if n != s.sizes[i] {
+				return fmt.Errorf("pochoir: array size %v differs from previously registered %v", a.Sizes(), s.sizes)
+			}
+		}
+	}
+	s.arrays = append(s.arrays, a)
+	return nil
+}
+
+// MustRegisterArray is RegisterArray, panicking on error.
+func (s *Stencil[T]) MustRegisterArray(a *Array[T]) {
+	if err := s.RegisterArray(a); err != nil {
+		panic(err)
+	}
+}
+
+// Arrays returns the registered arrays.
+func (s *Stencil[T]) Arrays() []*Array[T] { return s.arrays }
+
+// Sizes returns the spatial extents of the computing domain.
+func (s *Stencil[T]) Sizes() []int { return append([]int(nil), s.sizes...) }
+
+// newWalker assembles the decomposition engine for this stencil.
+func (s *Stencil[T]) newWalker() (*core.Walker, error) {
+	if len(s.arrays) == 0 {
+		return nil, fmt.Errorf("pochoir: no arrays registered")
+	}
+	d := s.shape.NDims
+	w := &core.Walker{
+		NDims:     d,
+		Serial:    s.opts.Serial,
+		Algorithm: s.opts.Algorithm,
+		Grain:     s.opts.Grain,
+	}
+	for i := 0; i < d; i++ {
+		w.Slopes[i] = s.shape.Slope(i)
+		w.Reach[i] = s.shape.Reach(i)
+		w.Sizes[i] = s.sizes[i]
+		// The unified scheme (§4) treats every dimension as periodic;
+		// nonperiodic behaviour comes from the boundary function.
+		w.Periodic[i] = !s.opts.NoUnifiedPeriodic
+	}
+	w.TimeCutoff, _ = s.coarsening()
+	_, spaceCut := s.coarsening()
+	copy(w.SpaceCutoff[:], spaceCut)
+	return w, nil
+}
+
+// coarsening returns the effective (time, per-dim space) base-case cutoffs:
+// the user's overrides when set, otherwise the paper's §4 heuristic.
+func (s *Stencil[T]) coarsening() (timeCut int, spaceCut []int) {
+	d := s.shape.NDims
+	spaceCut = make([]int, d)
+	if s.opts.SpaceCutoff != nil {
+		copy(spaceCut, s.opts.SpaceCutoff)
+	} else {
+		switch {
+		case d == 1:
+			spaceCut[0] = 1000
+		case d == 2:
+			spaceCut[0], spaceCut[1] = 100, 100
+		default:
+			// Never cut the unit-stride dimension; keep the rest small
+			// hypercubes ("1000x3x3 with 3 time steps").
+			for i := 0; i < d-1; i++ {
+				spaceCut[i] = 3
+			}
+			spaceCut[d-1] = 1 << 30 // effectively: never cut
+		}
+	}
+	timeCut = s.opts.TimeCutoff
+	if timeCut == 0 {
+		switch {
+		case d == 1:
+			timeCut = 100
+		case d == 2:
+			timeCut = 5
+		default:
+			timeCut = 3
+		}
+	}
+	return timeCut, spaceCut
+}
+
+// Run executes the stencil computation for steps time steps using the
+// point kernel kern — the Phase-1 "template library" path: correct for any
+// Pochoir-compliant kernel, with accesses routed through the checked Array
+// API. Results are read from the registered arrays at time steps
+// steps .. steps+depth-1 (the last computed states).
+//
+// Run may be called again to resume the computation for additional steps
+// (§2, name.Run).
+func (s *Stencil[T]) Run(steps int, kern Kernel) error {
+	w, err := s.newWalker()
+	if err != nil {
+		return err
+	}
+	exec := s.pointExecutor(kern)
+	w.Boundary = exec
+	// The generic point executor always reduces coordinates and goes
+	// through checked accessors, so it is safe to use for interior zoids
+	// too; a specialized interior clone is what Phase 2 adds.
+	w.Interior = exec
+	return s.runWalker(w, steps)
+}
+
+// RunChecked is Run with the Pochoir Guarantee enforced: every access the
+// kernel makes is verified against the declared shape, and the first
+// violation is returned as a *grid.ShapeError. This is the Phase-1
+// compliance check; it is substantially slower and intended for debugging.
+func (s *Stencil[T]) RunChecked(steps int, kern Kernel) error {
+	for _, a := range s.arrays {
+		a.EnableShapeCheck(s.shape)
+	}
+	defer func() {
+		for _, a := range s.arrays {
+			a.DisableShapeCheck()
+		}
+	}()
+	w, err := s.newWalker()
+	if err != nil {
+		return err
+	}
+	// Shape checking mutates per-array state (the home point), so force
+	// serial execution.
+	w.Serial = true
+	exec := s.checkedPointExecutor(kern)
+	w.Boundary = exec
+	w.Interior = exec
+	if err := s.runWalker(w, steps); err != nil {
+		return err
+	}
+	for _, a := range s.arrays {
+		if err := a.CheckErr(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BaseKernels carries the specialized base-case clones of a compiled
+// stencil: the fast interior clone and the checked boundary clone
+// (§4, code cloning). Either may be produced by hand or by the Phase-2
+// stencil compiler. A nil Interior routes every zoid through the boundary
+// clone (useful for the paper's modular-indexing ablation).
+type BaseKernels struct {
+	Interior BaseFunc
+	Boundary BaseFunc
+}
+
+// GenericBase wraps the point kernel in the generic checked base-case
+// executor: virtual coordinates are reduced modulo the grid extents and all
+// accesses go through the boundary-aware Array API. It is the natural
+// boundary clone to pair with a hand- or compiler-specialized interior
+// clone in RunSpecialized.
+func (s *Stencil[T]) GenericBase(kern Kernel) BaseFunc {
+	return s.pointExecutor(kern)
+}
+
+// RunSpecialized executes the stencil for steps time steps using compiled
+// base-case kernels — the Phase-2 path.
+func (s *Stencil[T]) RunSpecialized(steps int, b BaseKernels) error {
+	if b.Boundary == nil {
+		return fmt.Errorf("pochoir: RunSpecialized requires a boundary clone")
+	}
+	w, err := s.newWalker()
+	if err != nil {
+		return err
+	}
+	w.Interior = b.Interior
+	w.Boundary = b.Boundary
+	return s.runWalker(w, steps)
+}
+
+// cursor tracks how many steps have been run so resumed Runs continue
+// where the previous call stopped.
+func (s *Stencil[T]) runWalker(w *core.Walker, steps int) error {
+	if steps < 0 {
+		return fmt.Errorf("pochoir: negative step count %d", steps)
+	}
+	depth := s.shape.Depth()
+	t0 := depth + s.stepsRun
+	t1 := t0 + steps
+	if err := w.Run(t0, t1); err != nil {
+		return err
+	}
+	s.stepsRun += steps
+	return nil
+}
+
+// StepsRun returns the total number of time steps executed so far.
+func (s *Stencil[T]) StepsRun() int { return s.stepsRun }
+
+// Reset clears the resume cursor so the next Run starts from time 0 again
+// (after the caller re-initializes the arrays).
+func (s *Stencil[T]) Reset() { s.stepsRun = 0 }
