@@ -1,0 +1,31 @@
+# Developer targets. `make verify` is the pre-merge gate: build, vet, the
+# full test suite, and a race-detector pass over the concurrency-bearing
+# packages (the parallel engine, the scheduler, and the sharded telemetry
+# recorder).
+
+GO ?= go
+
+.PHONY: build vet test race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race target exercises the packages that share memory across
+# goroutines; the telemetry recorder's shard free list and snapshotting in
+# particular must stay race-clean.
+race:
+	$(GO) test -race ./internal/core ./internal/sched ./internal/telemetry
+
+# bench checks the telemetry acceptance criterion: Heat2D/NoTelemetry
+# (nil-recorder fast path) must match seed throughput, and Heat2D/Telemetry
+# reports the decomposition counters.
+bench:
+	$(GO) test -run '^$$' -bench Heat2D -benchtime 10x .
+
+verify: build vet test race

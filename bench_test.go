@@ -80,6 +80,33 @@ func BenchmarkIntroHeat(b *testing.B) {
 	})
 }
 
+// BenchmarkHeat2D is the telemetry acceptance benchmark. NoTelemetry runs
+// with a nil recorder and must match seed throughput (the disabled path is
+// a single pointer comparison per instrumentation point); Telemetry runs
+// the same workload with a recorder attached and reports the decomposition
+// counters (base cases, zoids, spawns per run) as custom metrics.
+func BenchmarkHeat2D(b *testing.B) {
+	f := stencils.NewHeat2DFactory(true)
+	sizes, steps := []int{512, 512}, 32
+	up := float64(sizes[0]*sizes[1]) * float64(steps)
+	b.Run("NoTelemetry", func(b *testing.B) {
+		benchJob(b, func() stencils.Job {
+			return f.New(sizes, steps).Pochoir(pochoir.Options{})
+		}, up)
+	})
+	b.Run("Telemetry", func(b *testing.B) {
+		rec := pochoir.NewRecorder()
+		benchJob(b, func() stencils.Job {
+			return f.New(sizes, steps).Pochoir(pochoir.Options{Telemetry: rec})
+		}, up)
+		st := rec.Snapshot()
+		n := float64(b.N)
+		b.ReportMetric(float64(st.Bases)/n, "bases/op")
+		b.ReportMetric(float64(st.Zoids())/n, "zoids/op")
+		b.ReportMetric(float64(st.Spawns)/n, "spawns/op")
+	})
+}
+
 // BenchmarkFig3 regenerates the Fig. 3 table: every benchmark under the
 // four execution regimes of the paper's columns.
 func BenchmarkFig3(b *testing.B) {

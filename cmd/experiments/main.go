@@ -10,7 +10,16 @@
 //	-run mod      §4 modular-indexing ablation (interior clone disabled)
 //	-run coarsen  §4 base-case-coarsening ablation
 //	-run tune     §4 autotuned coarsening (ISAT substitute)
+//	-run telemetry  instrumented Heat 2D run: decomposition counters and
+//	                achieved-vs-predicted parallelism (Fig. 9 cross-check)
 //	-run all      everything above
+//
+// The telemetry experiment additionally honors -stats (print the full
+// aggregate report: counters, base-case volume histogram, per-worker busy
+// time) and -trace FILE (write a Chrome trace-event JSON of the recursive
+// decomposition, one track per worker, loadable in chrome://tracing or
+// Perfetto). Giving either flag with another -run value appends the
+// telemetry experiment to that run.
 //
 // Workloads default to roughly 1/8-per-dimension of the paper's sizes so a
 // full run finishes in minutes on a laptop; -scale adjusts them, and
@@ -32,9 +41,11 @@ import (
 )
 
 var (
-	runFlag   = flag.String("run", "all", "experiment to run (intro, fig3, fig5, fig9, fig10, fig13, mod, coarsen, tune, all)")
+	runFlag   = flag.String("run", "all", "experiment to run (intro, fig3, fig5, fig9, fig10, fig13, mod, coarsen, tune, telemetry, all)")
 	quick     = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	benchName = flag.String("bench", "", "restrict fig3 to one benchmark name (e.g. \"Heat 2p\")")
+	statsFlag = flag.Bool("stats", false, "print the full telemetry stats report (telemetry experiment)")
+	traceFile = flag.String("trace", "", "write a Chrome trace-event JSON of the telemetry run to `FILE`")
 )
 
 func main() {
@@ -42,17 +53,18 @@ func main() {
 	fmt.Printf("pochoir experiments — %d cores (GOMAXPROCS), go %s\n\n",
 		sched.Workers(), runtime.Version())
 	exps := map[string]func(){
-		"intro":   runIntro,
-		"fig3":    runFig3,
-		"fig5":    runFig5,
-		"fig9":    runFig9,
-		"fig10":   runFig10,
-		"fig13":   runFig13,
-		"mod":     runMod,
-		"coarsen": runCoarsen,
-		"tune":    runTune,
+		"intro":     runIntro,
+		"fig3":      runFig3,
+		"fig5":      runFig5,
+		"fig9":      runFig9,
+		"fig10":     runFig10,
+		"fig13":     runFig13,
+		"mod":       runMod,
+		"coarsen":   runCoarsen,
+		"tune":      runTune,
+		"telemetry": runTelemetry,
 	}
-	order := []string{"intro", "fig3", "fig5", "fig9", "fig10", "fig13", "mod", "coarsen", "tune"}
+	order := []string{"intro", "fig3", "fig5", "fig9", "fig10", "fig13", "mod", "coarsen", "tune", "telemetry"}
 	name := strings.ToLower(*runFlag)
 	if name == "all" {
 		for _, n := range order {
@@ -66,7 +78,13 @@ func main() {
 		os.Exit(2)
 	}
 	f()
+	// -stats / -trace always produce telemetry output, whatever -run said.
+	if (*statsFlag || *traceFile != "") && name != "telemetry" {
+		runTelemetry()
+	}
 }
+
+func goMaxProcs() int { return sched.Workers() }
 
 // timeJob runs a job, timing only its Compute phase.
 func timeJob(j stencils.Job) time.Duration {

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pochoir"
+	"pochoir/internal/cilkview"
+	"pochoir/internal/core"
+	"pochoir/internal/stencils"
+)
+
+// runTelemetry is the observability experiment: a Heat 2D (periodic) run
+// executed with the telemetry recorder attached, cross-checking the
+// decomposition invariants the paper relies on (§3: hyperspace cuts fan
+// out 3^k subzoids over k+1 dependency levels; the decomposition
+// partitions space-time exactly) and comparing the run's achieved
+// parallelism (Σ worker busy time / wall time) against the Fig. 9-style
+// parallelism the cilkview analyzer predicts for the identical recursion.
+//
+// -stats prints the full aggregate report (counters, base-case volume
+// histogram, per-worker busy time); -trace FILE writes a Chrome
+// trace-event JSON of the decomposition, loadable in chrome://tracing or
+// https://ui.perfetto.dev, with one track per worker.
+func runTelemetry() {
+	sizes, steps := []int{512, 512}, 64
+	if *quick {
+		sizes, steps = []int{256, 256}, 16
+	}
+	header(fmt.Sprintf("Telemetry: instrumented Heat 2p run (%dx%d, %d steps)", sizes[0], sizes[1], steps))
+
+	rec := pochoir.NewRecorder()
+	f := stencils.NewHeat2DFactory(true)
+	inst := f.New(sizes, steps)
+	job := inst.Pochoir(pochoir.Options{Telemetry: rec})
+	d := timeJob(job)
+	st := rec.Snapshot()
+
+	points := int64(sizes[0]) * int64(sizes[1]) * int64(steps)
+	ok := "ok"
+	if st.BasePoints != points {
+		ok = "MISMATCH"
+	}
+	fmt.Printf("compute time: %s\n", seconds(d))
+	fmt.Printf("base-case point updates: %d, steps x grid volume: %d  [%s]\n",
+		st.BasePoints, points, ok)
+	fmt.Printf("decomposition: %d hyperspace cuts, %d time cuts, %d base cases (%d interior / %d boundary)\n",
+		st.HyperCuts, st.TimeCuts, st.Bases, st.InteriorBases, st.BoundaryBases())
+	if st.HyperCuts > 0 {
+		fmt.Printf("hyperspace fanout: avg %.1f subzoids over avg %.1f dependency levels per cut\n",
+			float64(st.Fanout)/float64(st.HyperCuts), float64(st.Levels)/float64(st.HyperCuts))
+	}
+	fmt.Printf("scheduler: %d spawns, %d inline tasks across %d worker track(s)\n",
+		st.Spawns, st.Inlines, st.Workers)
+
+	// Predicted parallelism of the identical recursion (same coarsening as
+	// the §4 heuristic the run used), per the Fig. 9 methodology.
+	w := cilkview.Config(2, sizes[0], 1, true, core.TRAP)
+	w.TimeCutoff = 5
+	w.SpaceCutoff[0], w.SpaceCutoff[1] = 100, 100
+	pred := cilkview.New(w, cilkview.DefaultCosts()).Analyze(1, 1+steps).Parallelism()
+	fmt.Printf("parallelism: achieved %.2f (busy %.3fs / wall %.3fs) vs cilkview-predicted T1/Tinf %.1f (capped by %d core(s))\n",
+		st.AchievedParallelism(), st.BusyTotal().Seconds(), st.Wall.Seconds(), pred, goMaxProcs())
+
+	if *statsFlag {
+		fmt.Println()
+		st.WriteReport(os.Stdout)
+	}
+	if *traceFile != "" {
+		if err := rec.WriteChromeTraceFile(*traceFile); err != nil {
+			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace (%d events) to %s — load it at chrome://tracing or https://ui.perfetto.dev\n",
+			st.Events, *traceFile)
+	}
+	footer()
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"pochoir/internal/sched"
+	"pochoir/internal/telemetry"
 	"pochoir/internal/zoid"
 )
 
@@ -78,6 +79,13 @@ type Walker struct {
 	Serial bool
 
 	Algorithm Algorithm
+
+	// Rec, when non-nil, records every decomposition decision (cuts,
+	// base-case invocations, spawn-vs-inline choices) into per-worker
+	// telemetry shards. When nil — the default — every instrumentation
+	// point reduces to a single pointer comparison, so uninstrumented
+	// runs execute the unmodified hot path.
+	Rec *telemetry.Recorder
 }
 
 // DefaultGrain is the spawn threshold used when Walker.Grain is zero.
@@ -120,7 +128,15 @@ func (w *Walker) Run(t0, t1 int) error {
 		return nil
 	}
 	z := zoid.Box(t0, t1, w.Sizes[:w.NDims])
-	w.walk(z)
+	if w.Rec == nil {
+		w.walk(z, nil)
+		return nil
+	}
+	w.Rec.RunStarted()
+	sh := w.Rec.Acquire()
+	w.walk(z, sh)
+	w.Rec.Release(sh)
+	w.Rec.RunFinished()
 	return nil
 }
 
@@ -183,80 +199,145 @@ func (w *Walker) grain() int64 {
 	return DefaultGrain
 }
 
-// walk recursively decomposes and executes z (Fig. 2).
-func (w *Walker) walk(z zoid.Zoid) {
+// walk recursively decomposes and executes z (Fig. 2). sh is the telemetry
+// shard of the current worker goroutine, nil when telemetry is disabled.
+func (w *Walker) walk(z zoid.Zoid, sh *telemetry.Shard) {
 	var cutBuf [zoid.MaxDims]zoid.Cut
 	cuts := w.cuttable(z, cutBuf[:0])
 	if len(cuts) > 0 {
 		switch w.Algorithm {
 		case STRAP:
-			w.spaceCutSerialDims(z, cuts[0])
+			w.spaceCutSerialDims(z, cuts[0], sh)
 		default:
-			w.hyperspaceCut(z, cuts)
+			w.hyperspaceCut(z, cuts, sh)
 		}
 		return
 	}
 	if h := z.Height(); h > w.timeCutoff() {
 		lower, upper := z.TimeCut()
-		w.walk(lower)
-		w.walk(upper)
+		span := -1
+		if sh != nil {
+			span = sh.TimeCut(h)
+		}
+		w.walk(lower, sh)
+		w.walk(upper, sh)
+		if sh != nil {
+			sh.End(span)
+		}
 		return
 	}
-	w.base(z)
+	w.base(z, sh)
 }
 
 // hyperspaceCut processes all subzoids level by level, each level in
 // parallel (Fig. 2, lines 11–15).
-func (w *Walker) hyperspaceCut(z zoid.Zoid, cuts []zoid.Cut) {
+func (w *Walker) hyperspaceCut(z zoid.Zoid, cuts []zoid.Cut, sh *telemetry.Shard) {
 	lv := zoid.HyperspaceCut(z, cuts)
+	span := -1
+	if sh != nil {
+		span = sh.HyperCut(lv.NumCut, lv.Total(), len(lv.Zoids))
+	}
 	parallel := !w.Serial && w.approxVolume(z) >= w.grain()
 	for _, level := range lv.Zoids {
-		w.walkAll(level, parallel)
+		w.walkAll(level, parallel, sh)
+	}
+	if sh != nil {
+		sh.End(span)
 	}
 }
 
 // spaceCutSerialDims is the STRAP strategy: cut only along one dimension,
 // process its pieces in the 2 parallel steps of Fig. 7, and let the
 // recursion discover further cuttable dimensions one at a time.
-func (w *Walker) spaceCutSerialDims(z zoid.Zoid, c zoid.Cut) {
+func (w *Walker) spaceCutSerialDims(z zoid.Zoid, c zoid.Cut, sh *telemetry.Shard) {
+	span := -1
+	if sh != nil {
+		span = sh.SpaceCut(c.Dim, c.Kind == zoid.CutCircle)
+	}
 	parallel := !w.Serial && w.approxVolume(z) >= w.grain()
 	if c.Kind == zoid.CutCircle {
 		sub, _ := z.CircleCut(c.Dim, c.Slope, c.Size)
-		w.walkAll(sub[0:2], parallel) // blacks
-		w.walkAll(sub[2:4], parallel) // grays
-		return
+		w.walkAll(sub[0:2], parallel, sh) // blacks
+		w.walkAll(sub[2:4], parallel, sh) // grays
+	} else if sub, upright := z.SpaceCut(c.Dim, c.Slope); upright {
+		w.walkAll([]zoid.Zoid{sub[0], sub[2]}, parallel, sh)
+		w.walk(sub[1], sh)
+	} else {
+		w.walk(sub[1], sh)
+		w.walkAll([]zoid.Zoid{sub[0], sub[2]}, parallel, sh)
 	}
-	sub, upright := z.SpaceCut(c.Dim, c.Slope)
-	if upright {
-		w.walkAll([]zoid.Zoid{sub[0], sub[2]}, parallel)
-		w.walk(sub[1])
-		return
+	if sh != nil {
+		sh.End(span)
 	}
-	w.walk(sub[1])
-	w.walkAll([]zoid.Zoid{sub[0], sub[2]}, parallel)
 }
 
-// walkAll processes a set of mutually independent zoids.
-func (w *Walker) walkAll(zs []zoid.Zoid, parallel bool) {
+// walkAll processes a set of mutually independent zoids. Tasks that sched
+// runs on the calling goroutine keep the caller's shard; spawned tasks
+// acquire their own (see task), which is what gives the trace one track
+// per worker.
+func (w *Walker) walkAll(zs []zoid.Zoid, parallel bool, sh *telemetry.Shard) {
 	switch len(zs) {
 	case 0:
 	case 1:
-		w.walk(zs[0])
+		w.walk(zs[0], sh)
 	case 2:
-		sched.Do2(parallel, func() { w.walk(zs[0]) }, func() { w.walk(zs[1]) })
+		// Do2 contract: a is spawned, b runs on the calling goroutine.
+		sched.Do2Counted(parallel, counter(sh),
+			w.task(zs[0], parallel, sh),
+			func() { w.walk(zs[1], sh) })
 	default:
+		// DoAll contract: the final function runs on the calling goroutine.
 		fns := make([]func(), len(zs))
 		for i := range zs {
 			zz := zs[i]
-			fns[i] = func() { w.walk(zz) }
+			if i == len(zs)-1 {
+				fns[i] = func() { w.walk(zz, sh) }
+			} else {
+				fns[i] = w.task(zz, parallel, sh)
+			}
 		}
-		sched.DoAll(parallel, fns)
+		sched.DoAllCounted(parallel, counter(sh), fns)
 	}
 }
 
+// task wraps a subwalk that the scheduler may run on a fresh goroutine:
+// with telemetry enabled it acquires a worker shard for the goroutine's
+// lifetime so recording stays contention-free.
+func (w *Walker) task(z zoid.Zoid, parallel bool, sh *telemetry.Shard) func() {
+	if sh == nil || !parallel {
+		return func() { w.walk(z, sh) }
+	}
+	rec := w.Rec
+	return func() {
+		s2 := rec.Acquire()
+		w.walk(z, s2)
+		rec.Release(s2)
+	}
+}
+
+// counter adapts a possibly-nil shard to sched.Counter without producing a
+// non-nil interface holding a nil pointer.
+func counter(sh *telemetry.Shard) sched.Counter {
+	if sh == nil {
+		return nil
+	}
+	return sh
+}
+
 // base dispatches z to the interior or boundary clone (§4, code cloning).
-func (w *Walker) base(z zoid.Zoid) {
-	if w.Interior != nil && w.IsInterior(z) {
+func (w *Walker) base(z zoid.Zoid, sh *telemetry.Shard) {
+	interior := w.Interior != nil && w.IsInterior(z)
+	if sh != nil {
+		span := sh.Base(z.Volume(), interior, z.Height())
+		if interior {
+			w.Interior(z)
+		} else {
+			w.Boundary(z)
+		}
+		sh.End(span)
+		return
+	}
+	if interior {
 		w.Interior(z)
 		return
 	}

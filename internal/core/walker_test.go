@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"pochoir/internal/telemetry"
 	"pochoir/internal/zoid"
 )
 
@@ -344,6 +345,67 @@ func TestInteriorCloneNeverNeedsBoundary(t *testing.T) {
 	if interiorPts.Load() == 0 {
 		t.Fatal("expected some interior zoids on a 40x40 grid")
 	}
+}
+
+// TestWalkerTelemetry runs instrumented walks across algorithms and
+// serial/parallel modes and checks the recorder's invariants: the base-case
+// point total covers space-time exactly, every span balances, and parallel
+// runs record spawns.
+func TestWalkerTelemetry(t *testing.T) {
+	sizes := []int{48, 36}
+	steps := 16
+	want := int64(sizes[0]) * int64(sizes[1]) * int64(steps)
+	for _, alg := range []Algorithm{TRAP, STRAP} {
+		for _, serial := range []bool{true, false} {
+			rec := telemetry.New()
+			w := &Walker{
+				NDims:      2,
+				Algorithm:  alg,
+				Serial:     serial,
+				TimeCutoff: 2,
+				Grain:      1, // spawn aggressively
+				Rec:        rec,
+			}
+			for i, n := range sizes {
+				w.Sizes[i] = n
+				w.Slopes[i] = 1
+				w.Reach[i] = 1
+				w.Periodic[i] = true
+				w.SpaceCutoff[i] = 8
+			}
+			nop := func(z zoid.Zoid) {}
+			w.Boundary = nop
+			w.Interior = nop
+			if err := w.Run(1, 1+steps); err != nil {
+				t.Fatal(err)
+			}
+			st := rec.Snapshot()
+			name := alg.String()
+			if st.BasePoints != want {
+				t.Errorf("%s serial=%v: BasePoints = %d, want %d", name, serial, st.BasePoints, want)
+			}
+			if alg == TRAP && st.HyperCuts == 0 {
+				t.Errorf("%s: expected hyperspace cuts", name)
+			}
+			if alg == STRAP && st.SpaceCuts+st.CircleCuts == 0 {
+				t.Errorf("%s: expected trisections or circle cuts", name)
+			}
+			if serial && st.Spawns != 0 {
+				t.Errorf("%s serial: recorded %d spawns", name, st.Spawns)
+			}
+			if !serial && st.Spawns == 0 {
+				t.Errorf("%s parallel: no spawns recorded", name)
+			}
+			if st.Events%2 != 0 {
+				t.Errorf("%s: odd event count %d (unbalanced spans)", name, st.Events)
+			}
+		}
+	}
+}
+
+// TestWalkerTelemetryNilIsNoop: a nil recorder must leave behavior alone.
+func TestWalkerTelemetryNilIsNoop(t *testing.T) {
+	runScenario(t, []int{40, 30}, 12, 1, false, TRAP, false, 2, 8)
 }
 
 func TestAlgorithmString(t *testing.T) {

@@ -14,13 +14,34 @@ import (
 // Workers returns the current parallelism level (GOMAXPROCS).
 func Workers() int { return runtime.GOMAXPROCS(0) }
 
+// Counter observes the scheduler's spawn-vs-inline decisions. Implementations
+// (telemetry shards) are goroutine-private: the scheduler only invokes the
+// counter on the calling goroutine, never from a spawned one. A nil Counter
+// disables observation at the cost of one comparison.
+type Counter interface {
+	// Spawned reports n tasks handed to fresh goroutines.
+	Spawned(n int)
+	// Inlined reports n tasks run on the calling goroutine.
+	Inlined(n int)
+}
+
 // Do2 runs a and b, in parallel when parallel is true ("spawn a; call b;
 // sync" in Cilk terms), serially otherwise.
-func Do2(parallel bool, a, b func()) {
+func Do2(parallel bool, a, b func()) { Do2Counted(parallel, nil, a, b) }
+
+// Do2Counted is Do2 with the spawn-vs-inline decision reported to c.
+func Do2Counted(parallel bool, c Counter, a, b func()) {
 	if !parallel {
+		if c != nil {
+			c.Inlined(2)
+		}
 		a()
 		b()
 		return
+	}
+	if c != nil {
+		c.Spawned(1)
+		c.Inlined(1)
 	}
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -35,16 +56,26 @@ func Do2(parallel bool, a, b func()) {
 // DoAll runs every function in fns, in parallel when parallel is true.
 // The final function runs on the calling goroutine, so a single-element
 // list never spawns.
-func DoAll(parallel bool, fns []func()) {
+func DoAll(parallel bool, fns []func()) { DoAllCounted(parallel, nil, fns) }
+
+// DoAllCounted is DoAll with the spawn-vs-inline decisions reported to c.
+func DoAllCounted(parallel bool, c Counter, fns []func()) {
 	n := len(fns)
 	if n == 0 {
 		return
 	}
 	if !parallel || n == 1 {
+		if c != nil {
+			c.Inlined(n)
+		}
 		for _, f := range fns {
 			f()
 		}
 		return
+	}
+	if c != nil {
+		c.Spawned(n - 1)
+		c.Inlined(1)
 	}
 	var wg sync.WaitGroup
 	wg.Add(n - 1)

@@ -85,3 +85,54 @@ func TestWorkersPositive(t *testing.T) {
 		t.Fatal("Workers must be at least 1")
 	}
 }
+
+// tally is a test Counter.
+type tally struct{ spawned, inlined int }
+
+func (c *tally) Spawned(n int) { c.spawned += n }
+func (c *tally) Inlined(n int) { c.inlined += n }
+
+func TestDo2Counted(t *testing.T) {
+	var c tally
+	Do2Counted(false, &c, func() {}, func() {})
+	if c.spawned != 0 || c.inlined != 2 {
+		t.Fatalf("serial Do2: %+v", c)
+	}
+	c = tally{}
+	Do2Counted(true, &c, func() {}, func() {})
+	if c.spawned != 1 || c.inlined != 1 {
+		t.Fatalf("parallel Do2: %+v", c)
+	}
+}
+
+func TestDoAllCounted(t *testing.T) {
+	mk := func(n int) []func() {
+		fns := make([]func(), n)
+		for i := range fns {
+			fns[i] = func() {}
+		}
+		return fns
+	}
+	var c tally
+	DoAllCounted(true, &c, mk(5))
+	if c.spawned != 4 || c.inlined != 1 {
+		t.Fatalf("parallel DoAll(5): %+v", c)
+	}
+	c = tally{}
+	DoAllCounted(false, &c, mk(5))
+	if c.spawned != 0 || c.inlined != 5 {
+		t.Fatalf("serial DoAll(5): %+v", c)
+	}
+	c = tally{}
+	DoAllCounted(true, &c, mk(1))
+	if c.spawned != 0 || c.inlined != 1 {
+		t.Fatalf("parallel DoAll(1) must inline: %+v", c)
+	}
+	c = tally{}
+	DoAllCounted(true, &c, nil)
+	if c.spawned != 0 || c.inlined != 0 {
+		t.Fatalf("empty DoAll must count nothing: %+v", c)
+	}
+	// nil counter must not panic.
+	DoAllCounted(true, nil, mk(3))
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteChromeTrace renders the recorded events in the Chrome trace-event
+// JSON format (the "JSON Array with metadata" flavor), loadable in
+// chrome://tracing and https://ui.perfetto.dev. Each worker shard becomes
+// one thread track; every span is a balanced pair of duration events
+// (ph "B"/"E"), so the recursive decomposition renders as a span tree per
+// worker. Timestamps are microseconds since the recorder's epoch.
+//
+// Like Snapshot, it must only be called while no instrumented run is
+// executing.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	emit(`{"name":"process_name","ph":"M","pid":1,"args":{"name":"pochoir"}}`)
+	for _, s := range r.shards {
+		emit(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"worker-%d"}}`, s.id, s.id)
+	}
+	for _, s := range r.shards {
+		for _, ev := range s.events {
+			ts := float64(ev.TS) / 1e3
+			if !ev.Begin {
+				emit(`{"name":"%s","cat":"pochoir","ph":"E","pid":1,"tid":%d,"ts":%.3f}`,
+					ev.Kind, s.id, ts)
+				continue
+			}
+			emit(`{"name":"%s","cat":"pochoir","ph":"B","pid":1,"tid":%d,"ts":%.3f,"args":{%s}}`,
+				ev.Kind, s.id, ts, beginArgs(ev))
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// beginArgs renders the kind-specific args object body of a begin event.
+func beginArgs(ev Event) string {
+	switch ev.Kind {
+	case SpanHyperCut:
+		return fmt.Sprintf(`"dims_cut":%d,"fanout":%d,"levels":%d`, ev.A0, ev.A1, ev.A2)
+	case SpanSpaceCut, SpanCircleCut:
+		return fmt.Sprintf(`"dim":%d`, ev.A0)
+	case SpanTimeCut:
+		return fmt.Sprintf(`"height":%d`, ev.A0)
+	case SpanBase:
+		clone := "boundary"
+		if ev.A1 != 0 {
+			clone = "interior"
+		}
+		return fmt.Sprintf(`"volume":%d,"clone":"%s","height":%d`, ev.A0, clone, ev.A2)
+	}
+	return ""
+}
+
+// WriteChromeTraceFile writes the Chrome trace to path.
+func (r *Recorder) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Stats is the aggregate view of a recorder: decomposition counters, the
+// base-case volume histogram, scheduler decisions, and per-worker busy
+// time. It is a plain value; Delta subtracts an earlier snapshot to get a
+// per-Run summary.
+type Stats struct {
+	// Wall is the accumulated wall-clock time of instrumented runs.
+	Wall time.Duration
+	// Workers is the number of worker shards (concurrently live worker
+	// goroutines at peak).
+	Workers int
+
+	// Decomposition node counts by cut kind.
+	TimeCuts   int64
+	HyperCuts  int64
+	SpaceCuts  int64 // STRAP trisections
+	CircleCuts int64 // STRAP periodic circle cuts
+	// HyperByK[k] counts hyperspace cuts that cut k dimensions at once;
+	// each should fan out ~3^k subzoids over k+1 dependency levels.
+	HyperByK [MaxCutDims + 1]int64
+	// Fanout and Levels total the subzoids and dependency levels produced
+	// by all hyperspace cuts.
+	Fanout int64
+	Levels int64
+
+	// Base-case accounting. BasePoints is the total number of space-time
+	// point updates executed; for a full run it must equal
+	// steps x grid volume (the decomposition partitions space-time).
+	Bases         int64
+	InteriorBases int64
+	BasePoints    int64
+	// BaseVolumeHist[b] counts base cases whose zoid volume v satisfies
+	// floor(log2(v)) == b.
+	BaseVolumeHist [volumeBuckets]int64
+
+	// Scheduler decisions: tasks run on fresh goroutines vs. inline.
+	Spawns  int64
+	Inlines int64
+
+	// WorkerBusy[i] is the time worker shard i spent inside base cases
+	// (kernel work, excluding decomposition and blocking).
+	WorkerBusy []time.Duration
+
+	// Events is the total number of recorded begin/end events.
+	Events int64
+}
+
+// Zoids returns the total number of decomposition nodes visited: every
+// cut of any kind plus every base case.
+func (st Stats) Zoids() int64 {
+	return st.TimeCuts + st.HyperCuts + st.SpaceCuts + st.CircleCuts + st.Bases
+}
+
+// BoundaryBases returns the base cases dispatched to the boundary clone.
+func (st Stats) BoundaryBases() int64 { return st.Bases - st.InteriorBases }
+
+// BusyTotal returns the summed busy time across workers.
+func (st Stats) BusyTotal() time.Duration {
+	var t time.Duration
+	for _, b := range st.WorkerBusy {
+		t += b
+	}
+	return t
+}
+
+// AchievedParallelism is total worker busy time over wall time — the
+// empirical counterpart of the work/span parallelism Fig. 9 predicts
+// (capped in practice by GOMAXPROCS, unlike the analytical T1/T∞).
+func (st Stats) AchievedParallelism() float64 {
+	if st.Wall <= 0 {
+		return 0
+	}
+	return float64(st.BusyTotal()) / float64(st.Wall)
+}
+
+// Delta returns the difference st - prev, the activity between two
+// snapshots of the same recorder (e.g. one Stencil.Run).
+func (st Stats) Delta(prev Stats) Stats {
+	out := st
+	out.Wall -= prev.Wall
+	out.TimeCuts -= prev.TimeCuts
+	out.HyperCuts -= prev.HyperCuts
+	out.SpaceCuts -= prev.SpaceCuts
+	out.CircleCuts -= prev.CircleCuts
+	for k := range out.HyperByK {
+		out.HyperByK[k] -= prev.HyperByK[k]
+	}
+	out.Fanout -= prev.Fanout
+	out.Levels -= prev.Levels
+	out.Bases -= prev.Bases
+	out.InteriorBases -= prev.InteriorBases
+	out.BasePoints -= prev.BasePoints
+	for b := range out.BaseVolumeHist {
+		out.BaseVolumeHist[b] -= prev.BaseVolumeHist[b]
+	}
+	out.Spawns -= prev.Spawns
+	out.Inlines -= prev.Inlines
+	out.WorkerBusy = append([]time.Duration(nil), st.WorkerBusy...)
+	for i := range out.WorkerBusy {
+		if i < len(prev.WorkerBusy) {
+			out.WorkerBusy[i] -= prev.WorkerBusy[i]
+		}
+	}
+	out.Events -= prev.Events
+	return out
+}
+
+// WriteReport renders the human-readable stats report.
+func (st Stats) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "telemetry: wall %.3fs, %d worker track(s), %d events\n",
+		st.Wall.Seconds(), st.Workers, st.Events)
+	fmt.Fprintf(w, "decomposition: %d zoids — %d hyperspace cuts, %d time cuts, %d trisections, %d circle cuts, %d base cases\n",
+		st.Zoids(), st.HyperCuts, st.TimeCuts, st.SpaceCuts, st.CircleCuts, st.Bases)
+	if st.HyperCuts > 0 {
+		fmt.Fprintf(w, "hyperspace cuts by dims cut:")
+		for k, n := range st.HyperByK {
+			if n > 0 {
+				fmt.Fprintf(w, "  k=%d: %d", k, n)
+			}
+		}
+		fmt.Fprintf(w, "  (avg fanout %.1f subzoids over avg %.1f levels)\n",
+			float64(st.Fanout)/float64(st.HyperCuts), float64(st.Levels)/float64(st.HyperCuts))
+	}
+	fmt.Fprintf(w, "base cases: %d interior, %d boundary; %d point updates\n",
+		st.InteriorBases, st.BoundaryBases(), st.BasePoints)
+	if st.Bases > 0 {
+		fmt.Fprintf(w, "base-case volume histogram (points per zoid):\n")
+		lo, hi := 0, len(st.BaseVolumeHist)-1
+		for lo < len(st.BaseVolumeHist) && st.BaseVolumeHist[lo] == 0 {
+			lo++
+		}
+		for hi >= 0 && st.BaseVolumeHist[hi] == 0 {
+			hi--
+		}
+		var max int64
+		for b := lo; b <= hi; b++ {
+			if st.BaseVolumeHist[b] > max {
+				max = st.BaseVolumeHist[b]
+			}
+		}
+		for b := lo; b <= hi; b++ {
+			n := st.BaseVolumeHist[b]
+			bar := ""
+			if max > 0 {
+				bar = strings.Repeat("#", int(40*n/max))
+			}
+			fmt.Fprintf(w, "  [2^%-2d, 2^%-2d): %8d %s\n", b, b+1, n, bar)
+		}
+	}
+	fmt.Fprintf(w, "scheduler: %d goroutines spawned, %d tasks inlined\n", st.Spawns, st.Inlines)
+	if len(st.WorkerBusy) > 0 {
+		fmt.Fprintf(w, "worker busy time:")
+		for i, b := range st.WorkerBusy {
+			fmt.Fprintf(w, "  w%d=%.3fs", i, b.Seconds())
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "achieved parallelism: %.2f (busy %.3fs / wall %.3fs)\n",
+		st.AchievedParallelism(), st.BusyTotal().Seconds(), st.Wall.Seconds())
+}
+
+// Report returns WriteReport's output as a string.
+func (st Stats) Report() string {
+	var sb strings.Builder
+	st.WriteReport(&sb)
+	return sb.String()
+}

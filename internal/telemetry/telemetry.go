@@ -1,0 +1,302 @@
+// Package telemetry is the execution-observability substrate for the TRAP
+// engine: a low-overhead event recorder that captures every decomposition
+// decision the walker makes — time cuts, hyperspace cuts with their 3^k
+// fanout and k+1 dependency levels, STRAP trisections and circle cuts,
+// base-case invocations with zoid volume and clone kind, and the
+// scheduler's spawn-vs-inline choices — without perturbing the run it
+// observes.
+//
+// The design has two halves:
+//
+//   - Recorder owns the clock epoch and a pool of Shards. Telemetry is
+//     strictly opt-in: engines carry a *Recorder that is nil by default,
+//     and every instrumentation point is guarded by a single pointer
+//     check, so disabled runs execute the exact seed code path.
+//
+//   - Shard is a per-worker-goroutine event buffer plus counters. A
+//     goroutine acquires a shard when it starts working and releases it
+//     when it finishes; all recording then happens on goroutine-private
+//     state, so the hot path is an append and a few integer adds with no
+//     atomics and no lock contention. Shards are recycled through a free
+//     list, so the shard count tracks the number of concurrently live
+//     workers — which is exactly the "one track per worker" grouping the
+//     Chrome-trace exporter wants.
+//
+// Aggregation (Snapshot) and export (WriteChromeTrace) must only run while
+// the instrumented computation is quiescent — after Walker.Run returns,
+// whose fork-join sync publishes every shard's writes.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanKind identifies what a recorded span covers.
+type SpanKind uint8
+
+const (
+	// SpanHyperCut is a TRAP hyperspace cut: k dimensions cut at once,
+	// 3^k-ish subzoids processed in k+1 dependency levels (§3, Lemma 1).
+	SpanHyperCut SpanKind = iota
+	// SpanSpaceCut is a STRAP trisection along a single dimension.
+	SpanSpaceCut
+	// SpanCircleCut is a STRAP circle cut of a full periodic dimension.
+	SpanCircleCut
+	// SpanTimeCut is a cut at the midpoint of the time dimension.
+	SpanTimeCut
+	// SpanBase is a base-case invocation (interior or boundary clone).
+	SpanBase
+)
+
+func (k SpanKind) String() string {
+	switch k {
+	case SpanHyperCut:
+		return "hyperspace-cut"
+	case SpanSpaceCut:
+		return "space-cut"
+	case SpanCircleCut:
+		return "circle-cut"
+	case SpanTimeCut:
+		return "time-cut"
+	case SpanBase:
+		return "base"
+	}
+	return "unknown"
+}
+
+// Event is one begin or end marker of a span. Begin events carry the
+// span's kind-specific arguments:
+//
+//	SpanHyperCut:  A0 = dims cut (k), A1 = subzoid fanout, A2 = levels
+//	SpanSpaceCut:  A0 = dimension
+//	SpanCircleCut: A0 = dimension
+//	SpanTimeCut:   A0 = zoid height
+//	SpanBase:      A0 = zoid volume (points), A1 = 1 if interior clone,
+//	               A2 = zoid height
+type Event struct {
+	TS    int64 // nanoseconds since the recorder's epoch
+	Kind  SpanKind
+	Begin bool
+	A0    int64
+	A1    int64
+	A2    int64
+}
+
+// MaxCutDims bounds the per-k hyperspace-cut counter array; it matches
+// zoid.MaxDims without importing it (telemetry stays dependency-free).
+const MaxCutDims = 8
+
+// volumeBuckets is the number of power-of-two histogram buckets; 2^63
+// points is beyond any addressable grid.
+const volumeBuckets = 64
+
+// Shard is the goroutine-private recording surface. A shard must only be
+// used by the goroutine that acquired it, between Acquire and Release.
+type Shard struct {
+	id     int
+	rec    *Recorder
+	events []Event
+
+	timeCuts   int64
+	hyperCuts  int64
+	spaceCuts  int64
+	circleCuts int64
+	hyperByK   [MaxCutDims + 1]int64
+	fanout     int64
+	levels     int64
+
+	bases         int64
+	interiorBases int64
+	basePoints    int64
+	baseHist      [volumeBuckets]int64
+
+	spawns  int64
+	inlines int64
+	busyNS  int64
+}
+
+// ID returns the shard's worker-track number.
+func (s *Shard) ID() int { return s.id }
+
+func (s *Shard) begin(kind SpanKind, a0, a1, a2 int64) int {
+	idx := len(s.events)
+	s.events = append(s.events, Event{TS: s.rec.now(), Kind: kind, Begin: true, A0: a0, A1: a1, A2: a2})
+	return idx
+}
+
+// End closes the span opened by the begin call that returned idx. For base
+// spans it also accumulates the shard's busy time.
+func (s *Shard) End(idx int) {
+	ev := s.events[idx]
+	now := s.rec.now()
+	s.events = append(s.events, Event{TS: now, Kind: ev.Kind})
+	if ev.Kind == SpanBase {
+		s.busyNS += now - ev.TS
+	}
+}
+
+// HyperCut records the start of a hyperspace cut over k dimensions that
+// produced fanout subzoids in levels dependency levels.
+func (s *Shard) HyperCut(k, fanout, levels int) int {
+	s.hyperCuts++
+	if k >= 0 && k <= MaxCutDims {
+		s.hyperByK[k]++
+	}
+	s.fanout += int64(fanout)
+	s.levels += int64(levels)
+	return s.begin(SpanHyperCut, int64(k), int64(fanout), int64(levels))
+}
+
+// SpaceCut records the start of a STRAP cut along dim; circle selects the
+// periodic full-extent variant.
+func (s *Shard) SpaceCut(dim int, circle bool) int {
+	if circle {
+		s.circleCuts++
+		return s.begin(SpanCircleCut, int64(dim), 0, 0)
+	}
+	s.spaceCuts++
+	return s.begin(SpanSpaceCut, int64(dim), 0, 0)
+}
+
+// TimeCut records the start of a time cut of a height-h zoid.
+func (s *Shard) TimeCut(h int) int {
+	s.timeCuts++
+	return s.begin(SpanTimeCut, int64(h), 0, 0)
+}
+
+// Base records the start of a base-case invocation over volume space-time
+// points of a height-h zoid, dispatched to the interior or boundary clone.
+func (s *Shard) Base(volume int64, interior bool, h int) int {
+	s.bases++
+	s.basePoints += volume
+	s.baseHist[log2Bucket(volume)]++
+	in := int64(0)
+	if interior {
+		s.interiorBases++
+		in = 1
+	}
+	return s.begin(SpanBase, volume, in, int64(h))
+}
+
+// Spawned and Inlined implement sched.Counter: they count the scheduler's
+// decisions to run tasks on fresh goroutines vs. the current one.
+func (s *Shard) Spawned(n int) { s.spawns += int64(n) }
+func (s *Shard) Inlined(n int) { s.inlines += int64(n) }
+
+// log2Bucket returns the histogram bucket of v: floor(log2(v)), clamped.
+func log2Bucket(v int64) int {
+	b := 0
+	for v > 1 && b < volumeBuckets-1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// Recorder owns the epoch clock, the shard pool, and the wall-time
+// accounting. The zero value is not usable; call New.
+type Recorder struct {
+	epoch time.Time
+
+	mu       sync.Mutex
+	shards   []*Shard
+	free     []*Shard
+	wallNS   int64
+	runStart time.Time
+	running  int
+}
+
+// New creates an empty recorder. Pass it to the engine (via
+// pochoir.Options.Telemetry or core.Walker.Rec) to enable recording.
+func New() *Recorder {
+	return &Recorder{epoch: time.Now()}
+}
+
+func (r *Recorder) now() int64 { return time.Since(r.epoch).Nanoseconds() }
+
+// Acquire hands out a worker shard, recycling released ones so shard ids
+// track concurrently live workers. It is called at goroutine spawn
+// boundaries only, never per event.
+func (r *Recorder) Acquire() *Shard {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.free); n > 0 {
+		s := r.free[n-1]
+		r.free = r.free[:n-1]
+		return s
+	}
+	s := &Shard{id: len(r.shards), rec: r}
+	r.shards = append(r.shards, s)
+	return s
+}
+
+// Release returns a shard to the pool when its goroutine finishes.
+func (r *Recorder) Release(s *Shard) {
+	r.mu.Lock()
+	r.free = append(r.free, s)
+	r.mu.Unlock()
+}
+
+// RunStarted marks the beginning of an instrumented run; wall time
+// accumulates between RunStarted and RunFinished (nested pairs count the
+// outermost interval once).
+func (r *Recorder) RunStarted() {
+	r.mu.Lock()
+	if r.running == 0 {
+		r.runStart = time.Now()
+	}
+	r.running++
+	r.mu.Unlock()
+}
+
+// RunFinished closes the interval opened by RunStarted.
+func (r *Recorder) RunFinished() {
+	r.mu.Lock()
+	r.running--
+	if r.running == 0 {
+		r.wallNS += time.Since(r.runStart).Nanoseconds()
+	}
+	r.mu.Unlock()
+}
+
+// Workers returns the number of distinct worker shards created so far.
+func (r *Recorder) Workers() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.shards)
+}
+
+// Snapshot aggregates all shards into cumulative Stats. It must only be
+// called while no instrumented run is executing.
+func (r *Recorder) Snapshot() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Stats{
+		Wall:       time.Duration(r.wallNS),
+		Workers:    len(r.shards),
+		WorkerBusy: make([]time.Duration, len(r.shards)),
+	}
+	for i, s := range r.shards {
+		st.TimeCuts += s.timeCuts
+		st.HyperCuts += s.hyperCuts
+		st.SpaceCuts += s.spaceCuts
+		st.CircleCuts += s.circleCuts
+		for k := range s.hyperByK {
+			st.HyperByK[k] += s.hyperByK[k]
+		}
+		st.Fanout += s.fanout
+		st.Levels += s.levels
+		st.Bases += s.bases
+		st.InteriorBases += s.interiorBases
+		st.BasePoints += s.basePoints
+		for b := range s.baseHist {
+			st.BaseVolumeHist[b] += s.baseHist[b]
+		}
+		st.Spawns += s.spawns
+		st.Inlines += s.inlines
+		st.WorkerBusy[i] = time.Duration(s.busyNS)
+		st.Events += int64(len(s.events))
+	}
+	return st
+}

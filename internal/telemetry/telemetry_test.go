@@ -1,0 +1,243 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestShardRecordingAndSnapshot(t *testing.T) {
+	r := New()
+	r.RunStarted()
+	s := r.Acquire()
+	h := s.HyperCut(2, 9, 3)
+	tc := s.TimeCut(8)
+	b := s.Base(100, true, 4)
+	s.End(b)
+	b2 := s.Base(28, false, 4)
+	s.End(b2)
+	s.End(tc)
+	s.End(h)
+	s.Spawned(3)
+	s.Inlined(1)
+	r.Release(s)
+	r.RunFinished()
+
+	st := r.Snapshot()
+	if st.HyperCuts != 1 || st.HyperByK[2] != 1 || st.Fanout != 9 || st.Levels != 3 {
+		t.Fatalf("hyper-cut counters wrong: %+v", st)
+	}
+	if st.TimeCuts != 1 || st.Bases != 2 || st.InteriorBases != 1 || st.BoundaryBases() != 1 {
+		t.Fatalf("cut/base counters wrong: %+v", st)
+	}
+	if st.BasePoints != 128 {
+		t.Fatalf("BasePoints = %d, want 128", st.BasePoints)
+	}
+	if st.BaseVolumeHist[6] != 1 || st.BaseVolumeHist[4] != 1 {
+		t.Fatalf("histogram wrong: 2^6 bucket=%d 2^4 bucket=%d", st.BaseVolumeHist[6], st.BaseVolumeHist[4])
+	}
+	if st.Spawns != 3 || st.Inlines != 1 {
+		t.Fatalf("spawn counters wrong: %+v", st)
+	}
+	if st.Zoids() != 4 {
+		t.Fatalf("Zoids() = %d, want 4", st.Zoids())
+	}
+	if st.Events != 8 {
+		t.Fatalf("Events = %d, want 8", st.Events)
+	}
+	if st.Wall <= 0 {
+		t.Fatal("wall time not recorded")
+	}
+	if st.BusyTotal() <= 0 || st.AchievedParallelism() <= 0 {
+		t.Fatal("busy time not recorded")
+	}
+}
+
+func TestShardReuse(t *testing.T) {
+	r := New()
+	a := r.Acquire()
+	b := r.Acquire()
+	if a.ID() == b.ID() {
+		t.Fatal("concurrent shards must have distinct ids")
+	}
+	r.Release(b)
+	c := r.Acquire()
+	if c != b {
+		t.Fatal("released shard should be recycled")
+	}
+	r.Release(a)
+	r.Release(c)
+	if r.Workers() != 2 {
+		t.Fatalf("Workers = %d, want 2", r.Workers())
+	}
+}
+
+func TestLog2Bucket(t *testing.T) {
+	cases := map[int64]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 1023: 9, 1024: 10}
+	for v, want := range cases {
+		if got := log2Bucket(v); got != want {
+			t.Errorf("log2Bucket(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestStatsDelta(t *testing.T) {
+	r := New()
+	s := r.Acquire()
+	s.End(s.Base(10, true, 1))
+	pre := r.Snapshot()
+	s.End(s.Base(20, false, 1))
+	s.Spawned(2)
+	r.Release(s)
+	d := r.Snapshot().Delta(pre)
+	if d.Bases != 1 || d.BasePoints != 20 || d.InteriorBases != 0 || d.Spawns != 2 {
+		t.Fatalf("delta wrong: %+v", d)
+	}
+	if d.BaseVolumeHist[4] != 1 || d.BaseVolumeHist[3] != 0 {
+		t.Fatal("delta histogram wrong")
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	r := New()
+	r.RunStarted()
+	s := r.Acquire()
+	h := s.HyperCut(1, 3, 2)
+	s.End(s.Base(64, true, 2))
+	s.End(h)
+	r.Release(s)
+	r.RunFinished()
+	rep := r.Snapshot().Report()
+	for _, want := range []string{"hyperspace cuts", "point updates", "achieved parallelism", "volume histogram"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// chromeEvent mirrors the fields the tests verify.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Tid  int     `json:"tid"`
+	Ts   float64 `json:"ts"`
+}
+
+func decodeTrace(t *testing.T, data []byte) []chromeEvent {
+	t.Helper()
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	return doc.TraceEvents
+}
+
+// checkBalanced verifies every tid's B/E events nest and balance.
+func checkBalanced(t *testing.T, evs []chromeEvent) {
+	t.Helper()
+	stacks := map[int][]string{}
+	for _, ev := range evs {
+		switch ev.Ph {
+		case "B":
+			stacks[ev.Tid] = append(stacks[ev.Tid], ev.Name)
+		case "E":
+			st := stacks[ev.Tid]
+			if len(st) == 0 {
+				t.Fatalf("tid %d: E %q with empty stack", ev.Tid, ev.Name)
+			}
+			if st[len(st)-1] != ev.Name {
+				t.Fatalf("tid %d: E %q does not match open span %q", ev.Tid, ev.Name, st[len(st)-1])
+			}
+			stacks[ev.Tid] = st[:len(st)-1]
+		}
+	}
+	for tid, st := range stacks {
+		if len(st) != 0 {
+			t.Fatalf("tid %d: %d unclosed spans %v", tid, len(st), st)
+		}
+	}
+}
+
+func TestChromeTraceBalancedJSON(t *testing.T) {
+	r := New()
+	s := r.Acquire()
+	h := s.HyperCut(2, 9, 3)
+	s.End(s.Base(50, false, 2))
+	tc := s.TimeCut(4)
+	s.End(s.Base(30, true, 2))
+	s.End(tc)
+	s.End(h)
+	r.Release(s)
+	s2 := r.Acquire() // recycled: same track
+	sc := s2.SpaceCut(1, false)
+	cc := s2.SpaceCut(0, true)
+	s2.End(cc)
+	s2.End(sc)
+	r.Release(s2)
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTrace(t, buf.Bytes())
+	checkBalanced(t, evs)
+	var b, e int
+	names := map[string]bool{}
+	for _, ev := range evs {
+		switch ev.Ph {
+		case "B":
+			b++
+			names[ev.Name] = true
+		case "E":
+			e++
+		}
+	}
+	if b != e || b != 6 {
+		t.Fatalf("B=%d E=%d, want 6 balanced pairs", b, e)
+	}
+	for _, want := range []string{"hyperspace-cut", "base", "time-cut", "space-cut", "circle-cut"} {
+		if !names[want] {
+			t.Fatalf("trace missing span kind %q", want)
+		}
+	}
+}
+
+// TestConcurrentShards exercises the acquire/record/release cycle from many
+// goroutines at once; run under -race this validates the sharding contract.
+func TestConcurrentShards(t *testing.T) {
+	r := New()
+	r.RunStarted()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := r.Acquire()
+				h := s.HyperCut(1, 3, 2)
+				s.End(s.Base(int64(i+1), i%2 == 0, 1))
+				s.End(h)
+				s.Spawned(1)
+				r.Release(s)
+			}
+		}()
+	}
+	wg.Wait()
+	r.RunFinished()
+	st := r.Snapshot()
+	if st.Bases != 16*50 || st.HyperCuts != 16*50 || st.Spawns != 16*50 {
+		t.Fatalf("lost events: %+v", st)
+	}
+	if st.Workers < 1 || st.Workers > 16 {
+		t.Fatalf("Workers = %d, want in [1,16]", st.Workers)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkBalanced(t, decodeTrace(t, buf.Bytes()))
+}

@@ -106,6 +106,42 @@ func TestOptionMatrix1D(t *testing.T) {
 	}
 }
 
+// TestOptionsValidation: newWalker must reject malformed execution options
+// instead of silently misbehaving (a short SpaceCutoff used to leave the
+// trailing cutoffs at 0, changing coarsening for those dimensions).
+func TestOptionsValidation(t *testing.T) {
+	mk := func(opts pochoir.Options) error {
+		sh := pochoir.MustShape(2, [][]int{{1, 0, 0}, {0, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, -1}, {0, 0, 1}})
+		st := pochoir.NewWithOptions[float64](sh, opts)
+		u := pochoir.MustArray[float64](sh.Depth(), 16, 16)
+		u.RegisterBoundary(pochoir.ZeroBoundary[float64]())
+		st.MustRegisterArray(u)
+		return st.Run(2, pochoir.K2(func(tt, x, y int) { u.Set(tt+1, u.Get(tt, x, y), x, y) }))
+	}
+	bad := []pochoir.Options{
+		{TimeCutoff: -1},
+		{Grain: -5},
+		{SpaceCutoff: []int{8}},       // too short for a 2D stencil
+		{SpaceCutoff: []int{8, 8, 8}}, // too long
+		{SpaceCutoff: []int{8, -2}},   // negative entry
+	}
+	for _, opts := range bad {
+		if err := mk(opts); err == nil {
+			t.Errorf("opts %+v: want validation error, got nil", opts)
+		}
+	}
+	good := []pochoir.Options{
+		{},
+		{TimeCutoff: 3, SpaceCutoff: []int{8, 8}, Grain: 1},
+		{SpaceCutoff: []int{0, 0}}, // zero entries mean uncoarsened, and are valid
+	}
+	for _, opts := range good {
+		if err := mk(opts); err != nil {
+			t.Errorf("opts %+v: unexpected error %v", opts, err)
+		}
+	}
+}
+
 // TestGenericBaseAsBoundaryOnly: RunSpecialized with only a boundary clone
 // must still be correct (the modular-indexing ablation configuration).
 func TestGenericBaseAsBoundaryOnly(t *testing.T) {

@@ -46,6 +46,7 @@ import (
 	"pochoir/internal/core"
 	"pochoir/internal/grid"
 	"pochoir/internal/shape"
+	"pochoir/internal/telemetry"
 	"pochoir/internal/zoid"
 )
 
@@ -70,6 +71,21 @@ type Array[T any] = grid.Array[T]
 
 // Boundary supplies values for off-domain accesses (Pochoir_Boundary_dimD).
 type Boundary[T any] = grid.Boundary[T]
+
+// Recorder is the execution-telemetry recorder: pass one via
+// Options.Telemetry to capture every decomposition decision of a run —
+// cut kinds, hyperspace-cut fanout and dependency levels, base-case
+// volumes and clone dispatch, spawn decisions, and per-worker busy time.
+// Export with Recorder.WriteChromeTrace (a chrome://tracing / Perfetto
+// loadable span tree, one track per worker) or aggregate with
+// Recorder.Snapshot; Stencil.LastRunStats summarizes the most recent Run.
+type Recorder = telemetry.Recorder
+
+// RunStats is the aggregate telemetry of a run; see Recorder.
+type RunStats = telemetry.Stats
+
+// NewRecorder creates an empty telemetry recorder.
+func NewRecorder() *Recorder { return telemetry.New() }
 
 // NewShape validates and builds a stencil shape from its cells, each cell a
 // time offset followed by ndims spatial offsets. The first cell is the home
@@ -97,8 +113,9 @@ type Stencil[T any] struct {
 	arrays []*Array[T]
 	sizes  []int
 
-	opts     Options
-	stepsRun int
+	opts      Options
+	stepsRun  int
+	lastStats *RunStats
 }
 
 // Options control how the engine decomposes and schedules the computation.
@@ -124,6 +141,10 @@ type Options struct {
 	// stencils with no wraparound dependencies (nonperiodic boundary
 	// functions); it exists for the ablation experiments.
 	NoUnifiedPeriodic bool
+	// Telemetry, when non-nil, records the run's decomposition decisions
+	// into the recorder (see Recorder). Nil — the default — keeps the
+	// engine entirely uninstrumented: the only cost is one pointer check.
+	Telemetry *Recorder
 }
 
 // New creates a stencil object for the given shape.
@@ -175,17 +196,34 @@ func (s *Stencil[T]) Arrays() []*Array[T] { return s.arrays }
 // Sizes returns the spatial extents of the computing domain.
 func (s *Stencil[T]) Sizes() []int { return append([]int(nil), s.sizes...) }
 
-// newWalker assembles the decomposition engine for this stencil.
+// newWalker assembles the decomposition engine for this stencil, after
+// validating the execution options.
 func (s *Stencil[T]) newWalker() (*core.Walker, error) {
 	if len(s.arrays) == 0 {
 		return nil, fmt.Errorf("pochoir: no arrays registered")
 	}
 	d := s.shape.NDims
+	if s.opts.TimeCutoff < 0 {
+		return nil, fmt.Errorf("pochoir: negative TimeCutoff %d", s.opts.TimeCutoff)
+	}
+	if s.opts.Grain < 0 {
+		return nil, fmt.Errorf("pochoir: negative Grain %d", s.opts.Grain)
+	}
+	if s.opts.SpaceCutoff != nil && len(s.opts.SpaceCutoff) != d {
+		return nil, fmt.Errorf("pochoir: SpaceCutoff has %d entries, stencil has %d dimensions",
+			len(s.opts.SpaceCutoff), d)
+	}
+	for i, c := range s.opts.SpaceCutoff {
+		if c < 0 {
+			return nil, fmt.Errorf("pochoir: negative SpaceCutoff[%d] = %d", i, c)
+		}
+	}
 	w := &core.Walker{
 		NDims:     d,
 		Serial:    s.opts.Serial,
 		Algorithm: s.opts.Algorithm,
 		Grain:     s.opts.Grain,
+		Rec:       s.opts.Telemetry,
 	}
 	for i := 0; i < d; i++ {
 		w.Slopes[i] = s.shape.Slope(i)
@@ -336,12 +374,26 @@ func (s *Stencil[T]) runWalker(w *core.Walker, steps int) error {
 	depth := s.shape.Depth()
 	t0 := depth + s.stepsRun
 	t1 := t0 + steps
+	var pre RunStats
+	if s.opts.Telemetry != nil {
+		pre = s.opts.Telemetry.Snapshot()
+	}
 	if err := w.Run(t0, t1); err != nil {
 		return err
 	}
 	s.stepsRun += steps
+	if s.opts.Telemetry != nil {
+		st := s.opts.Telemetry.Snapshot().Delta(pre)
+		s.lastStats = &st
+	}
 	return nil
 }
+
+// LastRunStats returns the telemetry summary of the most recent successful
+// Run/RunChecked/RunSpecialized call — only that call's activity, even when
+// the recorder is shared across resumed runs or stencils. It returns nil
+// when Options.Telemetry was not set.
+func (s *Stencil[T]) LastRunStats() *RunStats { return s.lastStats }
 
 // StepsRun returns the total number of time steps executed so far.
 func (s *Stencil[T]) StepsRun() int { return s.stepsRun }

@@ -1,0 +1,179 @@
+package pochoir_test
+
+// Telemetry invariant tests against the public API: whatever decomposition
+// the engine picks (TRAP's hyperspace cuts, STRAP's one-dimension-at-a-time
+// trisections, serial or parallel execution), the base cases it records
+// must partition space-time exactly — total point updates == steps x grid
+// volume — and the exported Chrome trace must be valid JSON with balanced,
+// properly nested B/E span events on every worker track.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"pochoir"
+	"pochoir/internal/stencils"
+)
+
+// telemetryConfigs covers TRAP vs STRAP crossed with serial vs parallel.
+var telemetryConfigs = []struct {
+	name string
+	opts pochoir.Options
+}{
+	{"TRAP", pochoir.Options{}},
+	{"TRAP/serial", pochoir.Options{Serial: true}},
+	{"STRAP", pochoir.Options{Algorithm: 1}},
+	{"STRAP/serial", pochoir.Options{Algorithm: 1, Serial: true}},
+}
+
+// TestTelemetryCoversSpaceTime: for every engine configuration, the sum of
+// base-case zoid volumes equals steps x grid volume on both a floating
+// point kernel (Heat 2p) and an integer one (Life 2p).
+func TestTelemetryCoversSpaceTime(t *testing.T) {
+	workloads := []struct {
+		factory stencils.Factory
+		sizes   []int
+		steps   int
+	}{
+		{stencils.NewHeat2DFactory(true), []int{96, 96}, 24},
+		{stencils.NewLifeFactory(), []int{64, 64}, 16},
+	}
+	for _, w := range workloads {
+		for _, cfg := range telemetryConfigs {
+			t.Run(w.factory.Name+"/"+cfg.name, func(t *testing.T) {
+				rec := pochoir.NewRecorder()
+				opts := cfg.opts
+				opts.Telemetry = rec
+				// Small cutoffs force deep recursion so every cut kind
+				// actually fires on this grid size.
+				opts.TimeCutoff, opts.SpaceCutoff, opts.Grain = 2, []int{16, 16}, 1
+				w.factory.New(w.sizes, w.steps).Pochoir(opts).Run()
+
+				st := rec.Snapshot()
+				want := int64(w.sizes[0]) * int64(w.sizes[1]) * int64(w.steps)
+				if st.BasePoints != want {
+					t.Errorf("base-case point updates = %d, want steps x volume = %d", st.BasePoints, want)
+				}
+				if st.Bases == 0 || st.Zoids() < st.Bases {
+					t.Errorf("implausible decomposition: %d bases of %d zoids", st.Bases, st.Zoids())
+				}
+				if cfg.opts.Serial && st.Spawns != 0 {
+					t.Errorf("serial run spawned %d goroutines", st.Spawns)
+				}
+				if st.Events%2 != 0 {
+					t.Errorf("odd event count %d: some span missing its End", st.Events)
+				}
+			})
+		}
+	}
+}
+
+// traceEvent is the subset of the Chrome trace-event schema the tests
+// inspect.
+type traceEvent struct {
+	Ph   string  `json:"ph"`
+	Name string  `json:"name"`
+	TS   float64 `json:"ts"`
+	TID  int     `json:"tid"`
+}
+
+// TestTelemetryChromeTraceBalanced exports a real run and checks that the
+// trace parses as JSON and every track's B/E events balance and nest.
+func TestTelemetryChromeTraceBalanced(t *testing.T) {
+	rec := pochoir.NewRecorder()
+	f := stencils.NewHeat2DFactory(true)
+	f.New([]int{96, 96}, 24).Pochoir(pochoir.Options{
+		Telemetry: rec, TimeCutoff: 2, SpaceCutoff: []int{16, 16}, Grain: 1,
+	}).Run()
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	stacks := map[int][]string{}
+	var begins, ends int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "B":
+			begins++
+			stacks[ev.TID] = append(stacks[ev.TID], ev.Name)
+		case "E":
+			ends++
+			st := stacks[ev.TID]
+			if len(st) == 0 {
+				t.Fatalf("tid %d: E with empty stack", ev.TID)
+			}
+			stacks[ev.TID] = st[:len(st)-1]
+		case "M":
+			// metadata (process/thread names)
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if begins == 0 || begins != ends {
+		t.Fatalf("unbalanced trace: %d B vs %d E events", begins, ends)
+	}
+	for tid, st := range stacks {
+		if len(st) != 0 {
+			t.Errorf("tid %d: %d spans never ended: %v", tid, len(st), st)
+		}
+	}
+}
+
+// TestLastRunStatsDelta: on a resumed stencil, LastRunStats must describe
+// only the most recent Run even though the recorder accumulates across
+// runs.
+func TestLastRunStatsDelta(t *testing.T) {
+	const n = 48
+	rec := pochoir.NewRecorder()
+	sh := pochoir.MustShape(1, [][]int{{1, 0}, {0, 0}, {0, 1}, {0, -1}})
+	st := pochoir.NewWithOptions[float64](sh, pochoir.Options{Telemetry: rec})
+	u := pochoir.MustArray[float64](sh.Depth(), n)
+	u.RegisterBoundary(pochoir.ZeroBoundary[float64]())
+	st.MustRegisterArray(u)
+	kern := pochoir.K1(func(tt, i int) {
+		u.Set(tt+1, 0.5*(u.Get(tt, i-1)+u.Get(tt, i+1)), i)
+	})
+
+	if err := st.Run(10, kern); err != nil {
+		t.Fatal(err)
+	}
+	first := st.LastRunStats()
+	if first == nil || first.BasePoints != int64(n)*10 {
+		t.Fatalf("first run stats: %+v, want %d point updates", first, n*10)
+	}
+	if err := st.Run(6, kern); err != nil {
+		t.Fatal(err)
+	}
+	second := st.LastRunStats()
+	if second.BasePoints != int64(n)*6 {
+		t.Fatalf("second run stats cover %d point updates, want only the resumed run's %d",
+			second.BasePoints, n*6)
+	}
+	if total := rec.Snapshot().BasePoints; total != int64(n)*16 {
+		t.Fatalf("recorder total %d, want cumulative %d", total, n*16)
+	}
+}
+
+// TestLastRunStatsNilWithoutRecorder: no telemetry configured, no stats.
+func TestLastRunStatsNilWithoutRecorder(t *testing.T) {
+	sh := pochoir.MustShape(1, [][]int{{1, 0}, {0, 0}})
+	st := pochoir.New[float64](sh)
+	u := pochoir.MustArray[float64](sh.Depth(), 8)
+	u.RegisterBoundary(pochoir.ZeroBoundary[float64]())
+	st.MustRegisterArray(u)
+	if err := st.Run(2, pochoir.K1(func(tt, i int) { u.Set(tt+1, u.Get(tt, i), i) })); err != nil {
+		t.Fatal(err)
+	}
+	if st.LastRunStats() != nil {
+		t.Fatal("LastRunStats must be nil when Options.Telemetry is unset")
+	}
+}
