@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench verify
+.PHONY: build vet test race bench verify fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,17 @@ test:
 
 # The race target exercises the packages that share memory across
 # goroutines; the telemetry recorder's shard free list and snapshotting in
-# particular must stay race-clean.
+# particular must stay race-clean. The root-package run replays the
+# hardened-execution suite (panic isolation, cancellation, poisoning,
+# checkpoint/restore, fault injection) under the detector.
 race:
 	$(GO) test -race ./internal/core ./internal/sched ./internal/telemetry
+	$(GO) test -race -run 'Panic|Cancel|Poison|Checkpoint|Restore|Fault|RegisterArray' .
+
+# fuzz-smoke gives the DSL fuzz target a short budget; CI runs it on every
+# push, and `go test` alone still replays the seed corpus.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDSL -fuzztime=30s -run '^FuzzDSL$$' ./internal/compiler
 
 # bench checks the telemetry acceptance criterion: Heat2D/NoTelemetry
 # (nil-recorder fast path) must match seed throughput, and Heat2D/Telemetry

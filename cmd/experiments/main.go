@@ -12,6 +12,9 @@
 //	-run tune     §4 autotuned coarsening (ISAT substitute)
 //	-run telemetry  instrumented Heat 2D run: decomposition counters and
 //	                achieved-vs-predicted parallelism (Fig. 9 cross-check)
+//	-run faults   hardened-execution demo: kernel panic isolation with zoid
+//	              attribution, run poisoning, checkpoint/restore retry, and
+//	              context-deadline cancellation latency
 //	-run all      everything above
 //
 // The telemetry experiment additionally honors -stats (print the full
@@ -41,7 +44,7 @@ import (
 )
 
 var (
-	runFlag   = flag.String("run", "all", "experiment to run (intro, fig3, fig5, fig9, fig10, fig13, mod, coarsen, tune, telemetry, all)")
+	runFlag   = flag.String("run", "all", "experiment to run (intro, fig3, fig5, fig9, fig10, fig13, mod, coarsen, tune, telemetry, faults, all)")
 	quick     = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	benchName = flag.String("bench", "", "restrict fig3 to one benchmark name (e.g. \"Heat 2p\")")
 	statsFlag = flag.Bool("stats", false, "print the full telemetry stats report (telemetry experiment)")
@@ -63,8 +66,9 @@ func main() {
 		"coarsen":   runCoarsen,
 		"tune":      runTune,
 		"telemetry": runTelemetry,
+		"faults":    runFaults,
 	}
-	order := []string{"intro", "fig3", "fig5", "fig9", "fig10", "fig13", "mod", "coarsen", "tune", "telemetry"}
+	order := []string{"intro", "fig3", "fig5", "fig9", "fig10", "fig13", "mod", "coarsen", "tune", "telemetry", "faults"}
 	name := strings.ToLower(*runFlag)
 	if name == "all" {
 		for _, n := range order {

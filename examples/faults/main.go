@@ -1,0 +1,95 @@
+// Faults: the failure model of the hardened execution engine.
+//
+// A Pochoir run can fail three ways — a kernel panics, the context is
+// cancelled, or the caller injects a fault while testing — and all three
+// surface the same way: Run returns an error, the process survives, and
+// the stencil is poisoned until the caller decides what state to resume
+// from. This example walks the full arc: checkpoint, crash mid-run on a
+// worker goroutine, inspect the structured error, restore, retry.
+//
+// Run with:
+//
+//	go run ./examples/faults
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"pochoir"
+)
+
+func main() {
+	const X, Y, T = 128, 128, 40
+	sh := pochoir.MustShape(2, [][]int{
+		{1, 0, 0}, {0, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, -1}, {0, 0, 1},
+	})
+	heat := pochoir.New[float64](sh)
+	u := pochoir.MustArray[float64](sh.Depth(), X, Y)
+	u.RegisterBoundary(pochoir.PeriodicBoundary[float64]())
+	heat.MustRegisterArray(u)
+	for x := 0; x < X; x++ {
+		for y := 0; y < Y; y++ {
+			u.Set(0, float64((x*31+y*17)%97)/97, x, y)
+		}
+	}
+
+	kernel := func(crashAt int) pochoir.Kernel {
+		return pochoir.K2(func(t, x, y int) {
+			if t == crashAt && x == X/2 && y == Y/2 {
+				panic("sensor dropout") // stands in for any kernel bug
+			}
+			c := u.Get(t, x, y)
+			u.Set(t+1, c+
+				0.125*(u.Get(t, x+1, y)-2*c+u.Get(t, x-1, y))+
+				0.125*(u.Get(t, x, y+1)-2*c+u.Get(t, x, y-1)), x, y)
+		})
+	}
+
+	// Snapshot the initial condition so the failed run can be retried.
+	cp, err := heat.Checkpoint()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. The kernel panics mid-run on some worker goroutine. Instead of
+	// crashing the process, Run drains the sibling tasks and returns the
+	// first panic as a *KernelPanicError carrying the panic value, the
+	// panicking goroutine's stack, and the zoid being executed.
+	err = heat.Run(T, kernel(T/2))
+	var kp *pochoir.KernelPanicError
+	if !errors.As(err, &kp) {
+		log.Fatalf("expected a kernel panic error, got %v", err)
+	}
+	fmt.Printf("run failed as expected: %v\n", kp.Value)
+	fmt.Printf("  while executing zoid t=[%d,%d)\n", kp.Zoid.T0, kp.Zoid.T1)
+
+	// 2. The stencil is now poisoned: the grid holds a half-written mix of
+	// time steps, so further runs refuse with ErrPoisoned.
+	if err := heat.Run(T, kernel(-1)); !errors.Is(err, pochoir.ErrPoisoned) {
+		log.Fatalf("expected ErrPoisoned, got %v", err)
+	}
+	fmt.Println("stencil poisoned: further runs refuse until Reset or Restore")
+
+	// 3. Restore the checkpoint and retry without the fault.
+	if err := heat.Restore(cp); err != nil {
+		log.Fatal(err)
+	}
+	if err := heat.Run(T, kernel(-1)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored and retried: %d steps complete, u[%d][%d]=%.4f\n",
+		heat.StepsRun(), X/2, Y/2, u.Get(T, X/2, Y/2))
+
+	// 4. Cancellation works the same way: RunContext checks the context
+	// once per zoid, so a cancelled run returns within about one base case.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = heat.RunContext(ctx, T*100, kernel(-1))
+	fmt.Printf("cancelled run returned %q after %v; poisoned=%v\n",
+		err, time.Since(start).Round(time.Millisecond), heat.Poisoned())
+}

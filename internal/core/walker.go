@@ -13,12 +13,42 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
+	"sync/atomic"
 
+	"pochoir/internal/faultpoint"
 	"pochoir/internal/sched"
 	"pochoir/internal/telemetry"
 	"pochoir/internal/zoid"
 )
+
+// KernelPanicError reports a panic recovered from a base-case kernel. The
+// walker converts it (and any other panic reaching Run) into an ordinary
+// error return: sibling tasks drain at their fork-join sync points
+// (see sched.PanicError) and the process never dies. Value is the original
+// panic value, Stack the panicking goroutine's stack, and Zoid the space-time
+// trapezoid whose base case was executing — enough to reproduce the failing
+// kernel application.
+type KernelPanicError struct {
+	Value any       // the value passed to panic
+	Stack []byte    // stack of the panicking goroutine
+	Zoid  zoid.Zoid // the base-case zoid being executed
+}
+
+func (e *KernelPanicError) Error() string {
+	return fmt.Sprintf("core: kernel panic: %v (zoid t=[%d,%d) lo=%v hi=%v)",
+		e.Value, e.Zoid.T0, e.Zoid.T1, e.Zoid.Lo[:e.Zoid.N], e.Zoid.Hi[:e.Zoid.N])
+}
+
+// Unwrap exposes a panic value that was itself an error to errors.Is/As.
+func (e *KernelPanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // BaseFunc executes the base case of the recursion over zoid z: it must
 // apply the stencil kernel to every space-time point of z, walking time
@@ -86,6 +116,14 @@ type Walker struct {
 	// point reduces to a single pointer comparison, so uninstrumented
 	// runs execute the unmodified hot path.
 	Rec *telemetry.Recorder
+
+	// cancelled is the per-run cooperative cancellation flag, set by a
+	// watcher goroutine when the RunContext context fires. It is nil for
+	// non-cancellable runs, so the uncancellable fast path pays one
+	// pointer comparison per zoid; cancellable runs pay one atomic load
+	// per zoid, amortized over the zoid's whole point set — the walker
+	// never checks inside a base case.
+	cancelled *atomic.Bool
 }
 
 // DefaultGrain is the spawn threshold used when Walker.Grain is zero.
@@ -119,25 +157,108 @@ func (w *Walker) Validate() error {
 }
 
 // Run executes the stencil for home times t in [t0, t1) over the full
-// spatial grid, decomposing with the configured algorithm.
+// spatial grid, decomposing with the configured algorithm. It is
+// RunContext with a background context: uncancellable, but still immune to
+// kernel panics.
 func (w *Walker) Run(t0, t1 int) error {
+	return w.RunContext(context.Background(), t0, t1)
+}
+
+// RunContext is Run with cooperative cancellation and panic isolation.
+//
+// Cancellation: when ctx can be cancelled, a watcher goroutine latches an
+// atomic flag on ctx.Done() and the recursion checks it once per zoid —
+// at cut granularity, never inside a base case — so a cancelled or
+// deadlined run returns ctx.Err() within about one base-case duration
+// while the fast path stays one atomic load amortized over a whole zoid.
+//
+// Panic isolation: a panic in a base-case kernel is captured with its
+// stack and zoid coordinates and returned as a *KernelPanicError; panics
+// elsewhere in the engine return as *sched.PanicError. In both cases
+// in-flight sibling tasks drain at their sync points and no goroutine is
+// left running when RunContext returns.
+//
+// Either way the grid is left partially updated; callers that resume must
+// restore a consistent state first (pochoir.Stencil does this with
+// run-state poisoning and Checkpoint/Restore).
+func (w *Walker) RunContext(ctx context.Context, t0, t1 int) (err error) {
 	if err := w.Validate(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	if t1 <= t0 {
 		return nil
 	}
 	z := zoid.Box(t0, t1, w.Sizes[:w.NDims])
+
+	if done := ctx.Done(); done != nil {
+		var flag atomic.Bool
+		w.cancelled = &flag
+		stop := make(chan struct{})
+		watcher := make(chan struct{})
+		go func() {
+			defer close(watcher)
+			select {
+			case <-done:
+				flag.Store(true)
+			case <-stop:
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-watcher
+			w.cancelled = nil
+			// A cancelled walk returns without its own error; report
+			// the context's. A panic error takes precedence: it names
+			// the root cause.
+			if err == nil && flag.Load() {
+				err = ctx.Err()
+			}
+		}()
+	}
+
+	// Registered after the watcher defer and before the telemetry defer,
+	// so on a panic the shard is released first (LIFO), then the panic is
+	// converted here, then the watcher shuts down.
+	defer func() {
+		if r := recover(); r != nil {
+			err = panicToError(r)
+		}
+	}()
+
 	if w.Rec == nil {
-		w.walk(z, nil)
+		w.walk(z, nil, 0)
 		return nil
 	}
 	w.Rec.RunStarted()
 	sh := w.Rec.Acquire()
-	w.walk(z, sh)
-	w.Rec.Release(sh)
-	w.Rec.RunFinished()
+	defer func() {
+		// Deferred so failed runs still release the root shard, close
+		// its open spans, and balance the wall-time accounting.
+		w.Rec.Release(sh)
+		w.Rec.RunFinished()
+	}()
+	w.walk(z, sh, 0)
 	return nil
+}
+
+// panicToError converts a panic recovered at the top of a run into the
+// error Run returns, unwrapping scheduler wrapping so a kernel panic that
+// crossed fork-join sync points still surfaces as *KernelPanicError.
+func panicToError(r any) error {
+	switch pe := r.(type) {
+	case *KernelPanicError:
+		return pe
+	case *sched.PanicError:
+		if kp, ok := pe.Value.(*KernelPanicError); ok {
+			return kp
+		}
+		return pe
+	default:
+		return &sched.PanicError{Value: r, Stack: debug.Stack()}
+	}
 }
 
 // timeCutoff returns the effective base-case height threshold.
@@ -200,38 +321,52 @@ func (w *Walker) grain() int64 {
 }
 
 // walk recursively decomposes and executes z (Fig. 2). sh is the telemetry
-// shard of the current worker goroutine, nil when telemetry is disabled.
-func (w *Walker) walk(z zoid.Zoid, sh *telemetry.Shard) {
+// shard of the current worker goroutine, nil when telemetry is disabled;
+// depth is the decomposition depth (root zoid at 0), consumed by the
+// cancellation-latency bound and the fault-injection sites.
+func (w *Walker) walk(z zoid.Zoid, sh *telemetry.Shard, depth int) {
+	// Cooperative cancellation, checked at cut granularity: once per zoid,
+	// never inside a base case. Abandoning the zoid here is safe — the
+	// run's results are discarded wholesale on cancellation.
+	if c := w.cancelled; c != nil && c.Load() {
+		return
+	}
 	var cutBuf [zoid.MaxDims]zoid.Cut
 	cuts := w.cuttable(z, cutBuf[:0])
 	if len(cuts) > 0 {
+		if faultpoint.Armed() {
+			faultpoint.Visit(faultpoint.SiteCut, depth)
+		}
 		switch w.Algorithm {
 		case STRAP:
-			w.spaceCutSerialDims(z, cuts[0], sh)
+			w.spaceCutSerialDims(z, cuts[0], sh, depth)
 		default:
-			w.hyperspaceCut(z, cuts, sh)
+			w.hyperspaceCut(z, cuts, sh, depth)
 		}
 		return
 	}
 	if h := z.Height(); h > w.timeCutoff() {
+		if faultpoint.Armed() {
+			faultpoint.Visit(faultpoint.SiteCut, depth)
+		}
 		lower, upper := z.TimeCut()
 		span := -1
 		if sh != nil {
 			span = sh.TimeCut(h)
 		}
-		w.walk(lower, sh)
-		w.walk(upper, sh)
+		w.walk(lower, sh, depth+1)
+		w.walk(upper, sh, depth+1)
 		if sh != nil {
 			sh.End(span)
 		}
 		return
 	}
-	w.base(z, sh)
+	w.base(z, sh, depth)
 }
 
 // hyperspaceCut processes all subzoids level by level, each level in
 // parallel (Fig. 2, lines 11–15).
-func (w *Walker) hyperspaceCut(z zoid.Zoid, cuts []zoid.Cut, sh *telemetry.Shard) {
+func (w *Walker) hyperspaceCut(z zoid.Zoid, cuts []zoid.Cut, sh *telemetry.Shard, depth int) {
 	lv := zoid.HyperspaceCut(z, cuts)
 	span := -1
 	if sh != nil {
@@ -239,7 +374,7 @@ func (w *Walker) hyperspaceCut(z zoid.Zoid, cuts []zoid.Cut, sh *telemetry.Shard
 	}
 	parallel := !w.Serial && w.approxVolume(z) >= w.grain()
 	for _, level := range lv.Zoids {
-		w.walkAll(level, parallel, sh)
+		w.walkAll(level, parallel, sh, depth+1)
 	}
 	if sh != nil {
 		sh.End(span)
@@ -249,7 +384,7 @@ func (w *Walker) hyperspaceCut(z zoid.Zoid, cuts []zoid.Cut, sh *telemetry.Shard
 // spaceCutSerialDims is the STRAP strategy: cut only along one dimension,
 // process its pieces in the 2 parallel steps of Fig. 7, and let the
 // recursion discover further cuttable dimensions one at a time.
-func (w *Walker) spaceCutSerialDims(z zoid.Zoid, c zoid.Cut, sh *telemetry.Shard) {
+func (w *Walker) spaceCutSerialDims(z zoid.Zoid, c zoid.Cut, sh *telemetry.Shard, depth int) {
 	span := -1
 	if sh != nil {
 		span = sh.SpaceCut(c.Dim, c.Kind == zoid.CutCircle)
@@ -257,14 +392,14 @@ func (w *Walker) spaceCutSerialDims(z zoid.Zoid, c zoid.Cut, sh *telemetry.Shard
 	parallel := !w.Serial && w.approxVolume(z) >= w.grain()
 	if c.Kind == zoid.CutCircle {
 		sub, _ := z.CircleCut(c.Dim, c.Slope, c.Size)
-		w.walkAll(sub[0:2], parallel, sh) // blacks
-		w.walkAll(sub[2:4], parallel, sh) // grays
+		w.walkAll(sub[0:2], parallel, sh, depth+1) // blacks
+		w.walkAll(sub[2:4], parallel, sh, depth+1) // grays
 	} else if sub, upright := z.SpaceCut(c.Dim, c.Slope); upright {
-		w.walkAll([]zoid.Zoid{sub[0], sub[2]}, parallel, sh)
-		w.walk(sub[1], sh)
+		w.walkAll([]zoid.Zoid{sub[0], sub[2]}, parallel, sh, depth+1)
+		w.walk(sub[1], sh, depth+1)
 	} else {
-		w.walk(sub[1], sh)
-		w.walkAll([]zoid.Zoid{sub[0], sub[2]}, parallel, sh)
+		w.walk(sub[1], sh, depth+1)
+		w.walkAll([]zoid.Zoid{sub[0], sub[2]}, parallel, sh, depth+1)
 	}
 	if sh != nil {
 		sh.End(span)
@@ -275,25 +410,25 @@ func (w *Walker) spaceCutSerialDims(z zoid.Zoid, c zoid.Cut, sh *telemetry.Shard
 // runs on the calling goroutine keep the caller's shard; spawned tasks
 // acquire their own (see task), which is what gives the trace one track
 // per worker.
-func (w *Walker) walkAll(zs []zoid.Zoid, parallel bool, sh *telemetry.Shard) {
+func (w *Walker) walkAll(zs []zoid.Zoid, parallel bool, sh *telemetry.Shard, depth int) {
 	switch len(zs) {
 	case 0:
 	case 1:
-		w.walk(zs[0], sh)
+		w.walk(zs[0], sh, depth)
 	case 2:
 		// Do2 contract: a is spawned, b runs on the calling goroutine.
 		sched.Do2Counted(parallel, counter(sh),
-			w.task(zs[0], parallel, sh),
-			func() { w.walk(zs[1], sh) })
+			w.task(zs[0], parallel, sh, depth),
+			func() { w.walk(zs[1], sh, depth) })
 	default:
 		// DoAll contract: the final function runs on the calling goroutine.
 		fns := make([]func(), len(zs))
 		for i := range zs {
 			zz := zs[i]
 			if i == len(zs)-1 {
-				fns[i] = func() { w.walk(zz, sh) }
+				fns[i] = func() { w.walk(zz, sh, depth) }
 			} else {
-				fns[i] = w.task(zz, parallel, sh)
+				fns[i] = w.task(zz, parallel, sh, depth)
 			}
 		}
 		sched.DoAllCounted(parallel, counter(sh), fns)
@@ -302,16 +437,18 @@ func (w *Walker) walkAll(zs []zoid.Zoid, parallel bool, sh *telemetry.Shard) {
 
 // task wraps a subwalk that the scheduler may run on a fresh goroutine:
 // with telemetry enabled it acquires a worker shard for the goroutine's
-// lifetime so recording stays contention-free.
-func (w *Walker) task(z zoid.Zoid, parallel bool, sh *telemetry.Shard) func() {
+// lifetime so recording stays contention-free. The release is deferred so
+// a panicking subwalk still returns its shard (with any open spans closed)
+// before the panic reaches the scheduler's sync point.
+func (w *Walker) task(z zoid.Zoid, parallel bool, sh *telemetry.Shard, depth int) func() {
 	if sh == nil || !parallel {
-		return func() { w.walk(z, sh) }
+		return func() { w.walk(z, sh, depth) }
 	}
 	rec := w.Rec
 	return func() {
 		s2 := rec.Acquire()
-		w.walk(z, s2)
-		rec.Release(s2)
+		defer rec.Release(s2)
+		w.walk(z, s2, depth)
 	}
 }
 
@@ -325,7 +462,26 @@ func counter(sh *telemetry.Shard) sched.Counter {
 }
 
 // base dispatches z to the interior or boundary clone (§4, code cloning).
-func (w *Walker) base(z zoid.Zoid, sh *telemetry.Shard) {
+// A panic in the clone — a crashing user kernel — is re-raised as a
+// *KernelPanicError carrying the stack and the zoid, so by the time it
+// reaches Run's recover the failure is fully located. The recover costs one
+// open-coded defer per base case, amortized over the zoid's whole point set.
+func (w *Walker) base(z zoid.Zoid, sh *telemetry.Shard, depth int) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch r.(type) {
+			case *KernelPanicError, *sched.PanicError:
+				panic(r) // already located by a nested region
+			}
+			panic(&KernelPanicError{Value: r, Stack: debug.Stack(), Zoid: z})
+		}
+	}()
+	// The faultpoint fires inside the recover scope: an injected base-site
+	// panic surfaces exactly like a crashing kernel, zoid coordinates
+	// included.
+	if faultpoint.Armed() {
+		faultpoint.Visit(faultpoint.SiteBase, depth)
+	}
 	interior := w.Interior != nil && w.IsInterior(z)
 	if sh != nil {
 		span := sh.Base(z.Volume(), interior, z.Height())

@@ -1,0 +1,140 @@
+package faultpoint
+
+import (
+	"testing"
+	"time"
+)
+
+// visit runs Visit under a recover and reports the recovered value.
+func visit(site Site, depth int) (recovered any) {
+	defer func() { recovered = recover() }()
+	if Armed() {
+		Visit(site, depth)
+	}
+	return nil
+}
+
+func TestDisarmedIsInert(t *testing.T) {
+	DisarmAll()
+	if Armed() {
+		t.Fatal("Armed() true with nothing armed")
+	}
+	if r := visit(SiteBase, 0); r != nil {
+		t.Fatalf("disarmed visit fired: %v", r)
+	}
+}
+
+func TestPanicFiresWithDefaultValue(t *testing.T) {
+	defer DisarmAll()
+	Arm(SiteBase, Spec{Kind: KindPanic, Depth: AnyDepth})
+	if !Armed() {
+		t.Fatal("Armed() false after Arm")
+	}
+	r := visit(SiteBase, 3)
+	inj, ok := r.(*Injected)
+	if !ok {
+		t.Fatalf("recovered %T %v, want *Injected", r, r)
+	}
+	if inj.Site != SiteBase || inj.Depth != 3 {
+		t.Fatalf("Injected = %+v", inj)
+	}
+	// Other sites stay inert.
+	if r := visit(SiteCut, 3); r != nil {
+		t.Fatalf("unarmed site fired: %v", r)
+	}
+}
+
+func TestDepthAndAfterTargeting(t *testing.T) {
+	defer DisarmAll()
+	Arm(SiteCut, Spec{Kind: KindPanic, Depth: 2, After: 2, Panic: "boom"})
+	// Wrong depth: never fires, never counts.
+	for i := 0; i < 10; i++ {
+		if r := visit(SiteCut, 1); r != nil {
+			t.Fatalf("fired at wrong depth: %v", r)
+		}
+	}
+	// Right depth: the first two matching visits are skipped.
+	for i := 0; i < 2; i++ {
+		if r := visit(SiteCut, 2); r != nil {
+			t.Fatalf("fired during After window (visit %d): %v", i, r)
+		}
+	}
+	if r := visit(SiteCut, 2); r != "boom" {
+		t.Fatalf("third matching visit recovered %v, want \"boom\"", r)
+	}
+	if got := Fired(SiteCut); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+}
+
+func TestTimesAutoDisarms(t *testing.T) {
+	defer DisarmAll()
+	Arm(SiteBase, Spec{Kind: KindPanic, Depth: AnyDepth, Times: 2})
+	for i := 0; i < 2; i++ {
+		if r := visit(SiteBase, 0); r == nil {
+			t.Fatalf("visit %d did not fire", i)
+		}
+	}
+	if Armed() {
+		t.Fatal("still armed after Times fires")
+	}
+	if r := visit(SiteBase, 0); r != nil {
+		t.Fatalf("fired after auto-disarm: %v", r)
+	}
+}
+
+func TestSleepStalls(t *testing.T) {
+	defer DisarmAll()
+	const d = 30 * time.Millisecond
+	Arm(SiteBase, Spec{Kind: KindSleep, Depth: AnyDepth, Sleep: d})
+	start := time.Now()
+	if r := visit(SiteBase, 0); r != nil {
+		t.Fatalf("sleep failpoint panicked: %v", r)
+	}
+	if el := time.Since(start); el < d {
+		t.Fatalf("slept %v, want >= %v", el, d)
+	}
+}
+
+func TestArmFromSpec(t *testing.T) {
+	defer DisarmAll()
+	err := ArmFromSpec("walker/base=panic:depth=2,after=3,times=1,msg=kaput; walker/cut=sleep:dur=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	base, cut := points[SiteBase], points[SiteCut]
+	mu.Unlock()
+	if base == nil || cut == nil {
+		t.Fatal("sites not armed")
+	}
+	want := Spec{Kind: KindPanic, Depth: 2, After: 3, Times: 1, Panic: "kaput"}
+	if base.spec != want {
+		t.Fatalf("base spec = %+v, want %+v", base.spec, want)
+	}
+	if cut.spec.Kind != KindSleep || cut.spec.Sleep != 5*time.Millisecond || cut.spec.Depth != AnyDepth {
+		t.Fatalf("cut spec = %+v", cut.spec)
+	}
+}
+
+func TestArmFromSpecErrors(t *testing.T) {
+	defer DisarmAll()
+	for _, bad := range []string{
+		"nonsense",
+		"walker/elsewhere=panic",
+		"walker/base=explode",
+		"walker/base=panic:depth=x",
+		"walker/cut=sleep:dur=fast",
+		"walker/base=panic:mystery=1",
+	} {
+		if err := ArmFromSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+		if Armed() {
+			t.Errorf("spec %q armed something despite error", bad)
+		}
+	}
+	if err := ArmFromSpec("  "); err != nil {
+		t.Errorf("blank spec rejected: %v", err)
+	}
+}

@@ -1,0 +1,67 @@
+package grid
+
+import "testing"
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	a := MustNewArray[float64](2, 3, 4)
+	for s := 0; s < a.Slots(); s++ {
+		slot := a.Slot(s)
+		for i := range slot {
+			slot[i] = float64(s*100 + i)
+		}
+	}
+	cp := a.Checkpoint()
+
+	// Scribble over every slot, then restore.
+	for s := 0; s < a.Slots(); s++ {
+		a.Fill(s, -1)
+	}
+	if err := a.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < a.Slots(); s++ {
+		slot := a.Slot(s)
+		for i := range slot {
+			if slot[i] != float64(s*100+i) {
+				t.Fatalf("slot %d index %d = %v after restore", s, i, slot[i])
+			}
+		}
+	}
+}
+
+func TestCheckpointIsDeepCopy(t *testing.T) {
+	a := MustNewArray[int](1, 4)
+	a.Fill(0, 7)
+	cp := a.Checkpoint()
+	a.Fill(0, 9) // mutating the array must not touch the checkpoint
+	if err := a.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Slot(0)[0]; got != 7 {
+		t.Fatalf("restore returned %d, want the checkpointed 7", got)
+	}
+	// And restoring must not alias: mutate after restore, restore again.
+	a.Fill(0, 11)
+	if err := a.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Slot(0)[0]; got != 7 {
+		t.Fatalf("second restore returned %d, want 7", got)
+	}
+}
+
+func TestRestoreRejectsMismatchedGeometry(t *testing.T) {
+	a := MustNewArray[float64](1, 4, 4)
+	for _, other := range []*Array[float64]{
+		MustNewArray[float64](2, 4, 4), // different depth
+		MustNewArray[float64](1, 4),    // different dimensionality
+		MustNewArray[float64](1, 4, 5), // different extent
+	} {
+		if err := a.Restore(other.Checkpoint()); err == nil {
+			t.Fatalf("restore accepted checkpoint of %v slots=%d", other.Sizes(), other.Slots())
+		}
+	}
+	if err := a.Restore(nil); err == nil {
+		t.Fatal("restore accepted nil checkpoint")
+	}
+}

@@ -231,6 +231,55 @@ func (a *Array[T]) CopyOut(t int, dst []T) error {
 	return nil
 }
 
+// ArrayCheckpoint is a deep copy of an array's temporal buffer, taken with
+// Array.Checkpoint and reapplied with Array.Restore. It is immutable after
+// capture: restoring never aliases the checkpoint's storage into the live
+// array, so one checkpoint can seed any number of retries.
+type ArrayCheckpoint[T any] struct {
+	sizes []int
+	slots int
+	data  []T
+}
+
+// Sizes returns the spatial extents the checkpoint was taken with.
+func (cp *ArrayCheckpoint[T]) Sizes() []int { return append([]int(nil), cp.sizes...) }
+
+// Slots returns the number of temporal copies the checkpoint was taken with.
+func (cp *ArrayCheckpoint[T]) Slots() int { return cp.slots }
+
+// Checkpoint deep-copies every live time slot of the array. The caller is
+// responsible for quiescence: checkpointing during a run captures a torn
+// state.
+func (a *Array[T]) Checkpoint() *ArrayCheckpoint[T] {
+	return &ArrayCheckpoint[T]{
+		sizes: append([]int(nil), a.sizes...),
+		slots: a.slots,
+		data:  append([]T(nil), a.data...),
+	}
+}
+
+// Restore overwrites the array's temporal buffer with the checkpoint's
+// copy. The checkpoint must come from an array of identical geometry —
+// same spatial extents and temporal depth.
+func (a *Array[T]) Restore(cp *ArrayCheckpoint[T]) error {
+	if cp == nil {
+		return fmt.Errorf("grid: Restore of a nil checkpoint")
+	}
+	if cp.slots != a.slots {
+		return fmt.Errorf("grid: checkpoint has %d time slots, array has %d", cp.slots, a.slots)
+	}
+	if len(cp.sizes) != a.ndims {
+		return fmt.Errorf("grid: checkpoint has %d dimensions, array has %d", len(cp.sizes), a.ndims)
+	}
+	for i, s := range cp.sizes {
+		if s != a.sizes[i] {
+			return fmt.Errorf("grid: checkpoint sizes %v differ from array sizes %v", cp.sizes, a.sizes)
+		}
+	}
+	copy(a.data, cp.data)
+	return nil
+}
+
 // Sprint pretty-prints time step t's slot, one line per row of the
 // innermost dimension — the analogue of the paper's overloaded "cout << u".
 func (a *Array[T]) Sprint(t int) string {

@@ -7,12 +7,71 @@
 package sched
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
 
 // Workers returns the current parallelism level (GOMAXPROCS).
 func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// PanicError is a panic recovered at a fork-join sync point. The scheduler
+// never lets a panic escape on a spawned goroutine (which would kill the
+// process): every task — spawned or inlined next to spawned siblings — runs
+// under a recover, the first recovered value wins, the remaining siblings
+// drain to completion, and the winner is re-raised on the calling goroutine
+// once the join completes. Purely serial execution paths are left alone:
+// with no goroutines in flight, natural unwinding is already correct and
+// costs nothing.
+//
+// Value holds the original panic value; when a panic crosses several nested
+// sync points it is re-raised as the same *PanicError, never re-wrapped, so
+// Value and Stack always describe the goroutine that actually panicked.
+type PanicError struct {
+	Value any    // the value passed to panic
+	Stack []byte // stack of the panicking goroutine, from runtime/debug.Stack
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: task panic: %v", e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error to errors.Is/As.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// panicSlot collects the first panic of a fork-join region.
+type panicSlot struct {
+	p atomic.Pointer[PanicError]
+}
+
+// capture is deferred inside every task of a parallel region: it records
+// the first panic (preserving an already-wrapped *PanicError from a nested
+// join) and swallows the rest so the join's WaitGroup always completes.
+func (s *panicSlot) capture() {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if pe, ok := r.(*PanicError); ok {
+		s.p.CompareAndSwap(nil, pe)
+		return
+	}
+	s.p.CompareAndSwap(nil, &PanicError{Value: r, Stack: debug.Stack()})
+}
+
+// rethrow re-raises the captured panic, if any, after the join.
+func (s *panicSlot) rethrow() {
+	if pe := s.p.Load(); pe != nil {
+		panic(pe)
+	}
+}
 
 // Counter observes the scheduler's spawn-vs-inline decisions. Implementations
 // (telemetry shards) are goroutine-private: the scheduler only invokes the
@@ -26,7 +85,9 @@ type Counter interface {
 }
 
 // Do2 runs a and b, in parallel when parallel is true ("spawn a; call b;
-// sync" in Cilk terms), serially otherwise.
+// sync" in Cilk terms), serially otherwise. If a task panics in a parallel
+// region, the sibling still runs to completion and the first panic is
+// re-raised as a *PanicError on the calling goroutine at the sync point.
 func Do2(parallel bool, a, b func()) { Do2Counted(parallel, nil, a, b) }
 
 // Do2Counted is Do2 with the spawn-vs-inline decision reported to c.
@@ -43,14 +104,20 @@ func Do2Counted(parallel bool, c Counter, a, b func()) {
 		c.Spawned(1)
 		c.Inlined(1)
 	}
+	var first panicSlot
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		defer first.capture()
 		a()
 	}()
-	b()
+	func() {
+		defer first.capture()
+		b()
+	}()
 	wg.Wait()
+	first.rethrow()
 }
 
 // DoAll runs every function in fns, in parallel when parallel is true.
@@ -77,17 +144,23 @@ func DoAllCounted(parallel bool, c Counter, fns []func()) {
 		c.Spawned(n - 1)
 		c.Inlined(1)
 	}
+	var first panicSlot
 	var wg sync.WaitGroup
 	wg.Add(n - 1)
 	for _, f := range fns[:n-1] {
 		f := f
 		go func() {
 			defer wg.Done()
+			defer first.capture()
 			f()
 		}()
 	}
-	fns[n-1]()
+	func() {
+		defer first.capture()
+		fns[n-1]()
+	}()
 	wg.Wait()
+	first.rethrow()
 }
 
 // For divides the half-open index range [lo, hi) into contiguous chunks of
@@ -117,6 +190,7 @@ func For(parallel bool, lo, hi, grain int, body func(i0, i1 int)) {
 		return
 	}
 	size := (n + chunks - 1) / chunks
+	var first panicSlot
 	var wg sync.WaitGroup
 	for start := lo; start < hi; start += size {
 		end := start + size
@@ -125,14 +199,19 @@ func For(parallel bool, lo, hi, grain int, body func(i0, i1 int)) {
 		}
 		if end == hi {
 			// Run the last chunk inline.
-			body(start, end)
+			func() {
+				defer first.capture()
+				body(start, end)
+			}()
 			break
 		}
 		wg.Add(1)
 		go func(s, e int) {
 			defer wg.Done()
+			defer first.capture()
 			body(s, e)
 		}(start, end)
 	}
 	wg.Wait()
+	first.rethrow()
 }

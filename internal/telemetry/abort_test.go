@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReleaseClosesOpenSpans models a panic unwinding through the walker:
+// begin events whose End calls were skipped must be closed on Release so
+// the exported trace stays a balanced span tree.
+func TestReleaseClosesOpenSpans(t *testing.T) {
+	r := New()
+	r.RunStarted()
+	s := r.Acquire()
+	s.HyperCut(2, 9, 3)  // never ended
+	s.TimeCut(8)         // never ended
+	b := s.Base(50, true, 2)
+	s.End(b)             // balanced pair
+	s.Base(40, false, 2) // aborted base, never ended
+	r.Release(s)
+	r.RunFinished()
+
+	// 4 begins + 4 ends after release-time closing.
+	if got := len(s.events); got != 8 {
+		t.Fatalf("event count = %d, want 8 (every span closed)", got)
+	}
+	begins, ends := 0, 0
+	depth := 0
+	for _, ev := range s.events {
+		if ev.Begin {
+			begins++
+			depth++
+		} else {
+			ends++
+			depth--
+		}
+		if depth < 0 {
+			t.Fatal("end before begin")
+		}
+	}
+	if begins != 4 || ends != 4 || depth != 0 {
+		t.Fatalf("unbalanced: %d begins %d ends depth %d", begins, ends, depth)
+	}
+
+	// The aborted base's partial busy time was charged.
+	st := r.Snapshot()
+	if st.Bases != 2 {
+		t.Fatalf("bases = %d, want 2", st.Bases)
+	}
+
+	var sb strings.Builder
+	if err := r.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	trace := sb.String()
+	if b, e := strings.Count(trace, `"ph":"B"`), strings.Count(trace, `"ph":"E"`); b != e {
+		t.Fatalf("chrome trace unbalanced: %d B, %d E", b, e)
+	}
+}
+
+// TestEndPopsNestedOpens checks the open-stack bookkeeping when End is
+// called normally on nested spans: the stack must track exactly the
+// unclosed prefix.
+func TestEndPopsNestedOpens(t *testing.T) {
+	r := New()
+	s := r.Acquire()
+	a := s.TimeCut(8)
+	bIdx := s.Base(10, true, 1)
+	s.End(bIdx)
+	if len(s.open) != 1 {
+		t.Fatalf("open stack = %v, want just the time cut", s.open)
+	}
+	s.End(a)
+	if len(s.open) != 0 {
+		t.Fatalf("open stack = %v, want empty", s.open)
+	}
+	r.Release(s)
+	if got := len(s.events); got != 4 {
+		t.Fatalf("release appended spurious ends: %d events", got)
+	}
+}

@@ -97,6 +97,10 @@ type Shard struct {
 	id     int
 	rec    *Recorder
 	events []Event
+	// open is the stack of begin-event indices with no matching End yet.
+	// A panic unwinding through the walker skips End calls; Release closes
+	// whatever remains so aborted runs still export balanced span trees.
+	open []int
 
 	timeCuts   int64
 	hyperCuts  int64
@@ -122,18 +126,38 @@ func (s *Shard) ID() int { return s.id }
 func (s *Shard) begin(kind SpanKind, a0, a1, a2 int64) int {
 	idx := len(s.events)
 	s.events = append(s.events, Event{TS: s.rec.now(), Kind: kind, Begin: true, A0: a0, A1: a1, A2: a2})
+	s.open = append(s.open, idx)
 	return idx
 }
 
 // End closes the span opened by the begin call that returned idx. For base
 // spans it also accumulates the shard's busy time.
 func (s *Shard) End(idx int) {
+	// Pop the open stack down through idx; on the non-failing path the top
+	// is exactly idx and this is a single pop.
+	for n := len(s.open); n > 0 && s.open[n-1] >= idx; n-- {
+		s.open = s.open[:n-1]
+	}
 	ev := s.events[idx]
 	now := s.rec.now()
 	s.events = append(s.events, Event{TS: now, Kind: ev.Kind})
 	if ev.Kind == SpanBase {
 		s.busyNS += now - ev.TS
 	}
+}
+
+// closeOpenSpans emits End events for every span a panic left open,
+// innermost first, charging any aborted base span's partial busy time.
+func (s *Shard) closeOpenSpans() {
+	for n := len(s.open); n > 0; n-- {
+		ev := s.events[s.open[n-1]]
+		now := s.rec.now()
+		s.events = append(s.events, Event{TS: now, Kind: ev.Kind})
+		if ev.Kind == SpanBase {
+			s.busyNS += now - ev.TS
+		}
+	}
+	s.open = s.open[:0]
 }
 
 // HyperCut records the start of a hyperspace cut over k dimensions that
@@ -231,8 +255,12 @@ func (r *Recorder) Acquire() *Shard {
 	return s
 }
 
-// Release returns a shard to the pool when its goroutine finishes.
+// Release returns a shard to the pool when its goroutine finishes. Spans
+// the goroutine left open — only possible when a panic unwound through the
+// instrumented recursion — are closed first, so every released shard holds
+// a balanced event sequence (a no-op on the ordinary path).
 func (r *Recorder) Release(s *Shard) {
+	s.closeOpenSpans()
 	r.mu.Lock()
 	r.free = append(r.free, s)
 	r.mu.Unlock()

@@ -41,14 +41,37 @@
 package pochoir
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"pochoir/internal/core"
 	"pochoir/internal/grid"
+	"pochoir/internal/sched"
 	"pochoir/internal/shape"
 	"pochoir/internal/telemetry"
 	"pochoir/internal/zoid"
 )
+
+// ErrPoisoned is returned by Run (and variants) after a previous run failed
+// or was cancelled: the registered arrays are partially updated, so running
+// further steps would compute on inconsistent state. Reset restarts from
+// scratch (after the caller re-initializes the arrays); Restore rewinds to
+// a Checkpoint and resumes from there.
+var ErrPoisoned = errors.New("pochoir: stencil poisoned by a failed or cancelled run; Reset or Restore before running again")
+
+// KernelPanicError is returned by Run (and variants) when a user kernel
+// panics mid-run: the panic value, the panicking goroutine's stack, and the
+// space-time zoid whose base case was executing. The engine converts the
+// panic into this error instead of crashing the process — sibling tasks
+// drain cleanly at their fork-join sync points first — and the stencil is
+// left poisoned (see ErrPoisoned).
+type KernelPanicError = core.KernelPanicError
+
+// EnginePanicError is returned by Run (and variants) for a panic recovered
+// outside a base-case kernel (including fault-injected engine panics): the
+// panic value and the panicking goroutine's stack.
+type EnginePanicError = sched.PanicError
 
 // MaxDims is the maximum number of spatial dimensions supported.
 const MaxDims = zoid.MaxDims
@@ -116,6 +139,10 @@ type Stencil[T any] struct {
 	opts      Options
 	stepsRun  int
 	lastStats *RunStats
+	// poisoned latches after a failed or cancelled run: the arrays hold a
+	// partially updated state, so further runs are refused with
+	// ErrPoisoned until Reset or Restore re-establishes consistency.
+	poisoned bool
 }
 
 // Options control how the engine decomposes and schedules the computation.
@@ -165,10 +192,19 @@ func (s *Stencil[T]) Shape() *Shape { return s.shape }
 
 // RegisterArray informs the stencil that the array participates in its
 // computation (§2, Register_Array). All registered arrays must share the
-// stencil's dimensionality and the same spatial extents.
+// stencil's dimensionality, the same spatial extents, and a temporal depth
+// matching the shape's; registering the same array twice is rejected.
 func (s *Stencil[T]) RegisterArray(a *Array[T]) error {
 	if a.NDims() != s.shape.NDims {
 		return fmt.Errorf("pochoir: array has %d dimensions, stencil shape has %d", a.NDims(), s.shape.NDims)
+	}
+	if got, want := a.Slots()-1, s.shape.Depth(); got != want {
+		return fmt.Errorf("pochoir: array has temporal depth %d, stencil shape has depth %d", got, want)
+	}
+	for _, prev := range s.arrays {
+		if prev == a {
+			return fmt.Errorf("pochoir: array already registered")
+		}
 	}
 	if s.sizes == nil {
 		s.sizes = a.Sizes()
@@ -233,8 +269,8 @@ func (s *Stencil[T]) newWalker() (*core.Walker, error) {
 		// nonperiodic behaviour comes from the boundary function.
 		w.Periodic[i] = !s.opts.NoUnifiedPeriodic
 	}
-	w.TimeCutoff, _ = s.coarsening()
-	_, spaceCut := s.coarsening()
+	timeCut, spaceCut := s.coarsening()
+	w.TimeCutoff = timeCut
 	copy(w.SpaceCutoff[:], spaceCut)
 	return w, nil
 }
@@ -284,6 +320,16 @@ func (s *Stencil[T]) coarsening() (timeCut int, spaceCut []int) {
 // Run may be called again to resume the computation for additional steps
 // (§2, name.Run).
 func (s *Stencil[T]) Run(steps int, kern Kernel) error {
+	return s.RunContext(context.Background(), steps, kern)
+}
+
+// RunContext is Run under a context: the walker checks cancellation
+// cooperatively once per zoid (never inside a base case, so the fast path
+// stays one atomic load amortized over a whole zoid) and returns ctx.Err()
+// promptly — within about one base-case duration — on cancel or deadline.
+// A cancelled run leaves the arrays partially updated and the stencil
+// poisoned; see ErrPoisoned.
+func (s *Stencil[T]) RunContext(ctx context.Context, steps int, kern Kernel) error {
 	w, err := s.newWalker()
 	if err != nil {
 		return err
@@ -294,7 +340,7 @@ func (s *Stencil[T]) Run(steps int, kern Kernel) error {
 	// through checked accessors, so it is safe to use for interior zoids
 	// too; a specialized interior clone is what Phase 2 adds.
 	w.Interior = exec
-	return s.runWalker(w, steps)
+	return s.runWalker(ctx, w, steps)
 }
 
 // RunChecked is Run with the Pochoir Guarantee enforced: every access the
@@ -302,6 +348,11 @@ func (s *Stencil[T]) Run(steps int, kern Kernel) error {
 // violation is returned as a *grid.ShapeError. This is the Phase-1
 // compliance check; it is substantially slower and intended for debugging.
 func (s *Stencil[T]) RunChecked(steps int, kern Kernel) error {
+	return s.RunCheckedContext(context.Background(), steps, kern)
+}
+
+// RunCheckedContext is RunChecked under a context; see RunContext.
+func (s *Stencil[T]) RunCheckedContext(ctx context.Context, steps int, kern Kernel) error {
 	for _, a := range s.arrays {
 		a.EnableShapeCheck(s.shape)
 	}
@@ -320,7 +371,7 @@ func (s *Stencil[T]) RunChecked(steps int, kern Kernel) error {
 	exec := s.checkedPointExecutor(kern)
 	w.Boundary = exec
 	w.Interior = exec
-	if err := s.runWalker(w, steps); err != nil {
+	if err := s.runWalker(ctx, w, steps); err != nil {
 		return err
 	}
 	for _, a := range s.arrays {
@@ -353,6 +404,11 @@ func (s *Stencil[T]) GenericBase(kern Kernel) BaseFunc {
 // RunSpecialized executes the stencil for steps time steps using compiled
 // base-case kernels — the Phase-2 path.
 func (s *Stencil[T]) RunSpecialized(steps int, b BaseKernels) error {
+	return s.RunSpecializedContext(context.Background(), steps, b)
+}
+
+// RunSpecializedContext is RunSpecialized under a context; see RunContext.
+func (s *Stencil[T]) RunSpecializedContext(ctx context.Context, steps int, b BaseKernels) error {
 	if b.Boundary == nil {
 		return fmt.Errorf("pochoir: RunSpecialized requires a boundary clone")
 	}
@@ -362,14 +418,26 @@ func (s *Stencil[T]) RunSpecialized(steps int, b BaseKernels) error {
 	}
 	w.Interior = b.Interior
 	w.Boundary = b.Boundary
-	return s.runWalker(w, steps)
+	return s.runWalker(ctx, w, steps)
 }
 
 // cursor tracks how many steps have been run so resumed Runs continue
-// where the previous call stopped.
-func (s *Stencil[T]) runWalker(w *core.Walker, steps int) error {
+// where the previous call stopped. A run that fails — kernel panic,
+// engine panic, cancellation, deadline — poisons the stencil: the arrays
+// are partially updated, so further runs are refused until Reset or
+// Restore. Telemetry stays consistent either way: a failed run still
+// closes its spans and publishes its (partial) stats to LastRunStats.
+func (s *Stencil[T]) runWalker(ctx context.Context, w *core.Walker, steps int) error {
+	if s.poisoned {
+		return ErrPoisoned
+	}
 	if steps < 0 {
 		return fmt.Errorf("pochoir: negative step count %d", steps)
+	}
+	// A context that is dead on arrival has not touched the arrays, so it
+	// does not poison.
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	depth := s.shape.Depth()
 	t0 := depth + s.stepsRun
@@ -378,14 +446,16 @@ func (s *Stencil[T]) runWalker(w *core.Walker, steps int) error {
 	if s.opts.Telemetry != nil {
 		pre = s.opts.Telemetry.Snapshot()
 	}
-	if err := w.Run(t0, t1); err != nil {
-		return err
-	}
-	s.stepsRun += steps
+	err := w.RunContext(ctx, t0, t1)
 	if s.opts.Telemetry != nil {
 		st := s.opts.Telemetry.Snapshot().Delta(pre)
 		s.lastStats = &st
 	}
+	if err != nil {
+		s.poisoned = true
+		return err
+	}
+	s.stepsRun += steps
 	return nil
 }
 
@@ -399,5 +469,87 @@ func (s *Stencil[T]) LastRunStats() *RunStats { return s.lastStats }
 func (s *Stencil[T]) StepsRun() int { return s.stepsRun }
 
 // Reset clears the resume cursor so the next Run starts from time 0 again
-// (after the caller re-initializes the arrays).
-func (s *Stencil[T]) Reset() { s.stepsRun = 0 }
+// (after the caller re-initializes the arrays). It also clears the
+// poisoned state left by a failed or cancelled run and drops the previous
+// run's telemetry summary.
+func (s *Stencil[T]) Reset() {
+	s.stepsRun = 0
+	s.lastStats = nil
+	s.poisoned = false
+}
+
+// Poisoned reports whether a failed or cancelled run has left the stencil
+// refusing further runs (see ErrPoisoned).
+func (s *Stencil[T]) Poisoned() bool { return s.poisoned }
+
+// ArrayCheckpoint is a deep copy of one array's temporal buffer; see
+// Stencil.Checkpoint and Array.Checkpoint.
+type ArrayCheckpoint[T any] = grid.ArrayCheckpoint[T]
+
+// Checkpoint captures the live state of the computation — a deep copy of
+// every registered array's time slots plus the resume cursor — so a later
+// failure can be rolled back with Restore instead of restarting from
+// scratch. Checkpointing a poisoned stencil is refused: its arrays hold a
+// torn state not worth preserving.
+type Checkpoint[T any] struct {
+	stepsRun int
+	arrays   []*ArrayCheckpoint[T]
+}
+
+// StepsRun returns the resume cursor the checkpoint was taken at.
+func (cp *Checkpoint[T]) StepsRun() int { return cp.stepsRun }
+
+// Checkpoint deep-copies the stencil's live state; see the Checkpoint type.
+func (s *Stencil[T]) Checkpoint() (*Checkpoint[T], error) {
+	if s.poisoned {
+		return nil, ErrPoisoned
+	}
+	cp := &Checkpoint[T]{stepsRun: s.stepsRun}
+	for _, a := range s.arrays {
+		cp.arrays = append(cp.arrays, a.Checkpoint())
+	}
+	return cp, nil
+}
+
+// Restore rewinds the stencil to a checkpoint: every registered array's
+// temporal buffer is overwritten with the checkpoint's copy, the resume
+// cursor rewinds to the checkpointed step count, and the poisoned state is
+// cleared — the retry-after-failure path. The stencil must have the same
+// registered arrays (count and geometry) as when the checkpoint was taken.
+func (s *Stencil[T]) Restore(cp *Checkpoint[T]) error {
+	if cp == nil {
+		return fmt.Errorf("pochoir: Restore of a nil checkpoint")
+	}
+	if len(cp.arrays) != len(s.arrays) {
+		return fmt.Errorf("pochoir: checkpoint holds %d arrays, stencil has %d registered",
+			len(cp.arrays), len(s.arrays))
+	}
+	// Validate geometry for every array before mutating any, so a failed
+	// Restore never leaves a half-restored state.
+	for i, a := range s.arrays {
+		got, want := a.Sizes(), cp.arrays[i].Sizes()
+		if len(got) != len(want) {
+			return fmt.Errorf("pochoir: checkpoint array %d has %d dimensions, registered array has %d",
+				i, len(want), len(got))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				return fmt.Errorf("pochoir: checkpoint array %d sizes %v differ from registered %v",
+					i, want, got)
+			}
+		}
+		if a.Slots() != cp.arrays[i].Slots() {
+			return fmt.Errorf("pochoir: checkpoint array %d has %d time slots, registered array has %d",
+				i, cp.arrays[i].Slots(), a.Slots())
+		}
+	}
+	for i, a := range s.arrays {
+		if err := a.Restore(cp.arrays[i]); err != nil {
+			return err
+		}
+	}
+	s.stepsRun = cp.stepsRun
+	s.lastStats = nil
+	s.poisoned = false
+	return nil
+}
