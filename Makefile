@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench verify fuzz-smoke
+.PHONY: build vet test race bench verify fuzz-smoke soak
 
 build:
 	$(GO) build ./...
@@ -20,10 +20,20 @@ test:
 # goroutines; the telemetry recorder's shard free list and snapshotting in
 # particular must stay race-clean. The root-package run replays the
 # hardened-execution suite (panic isolation, cancellation, poisoning,
-# checkpoint/restore, fault injection) under the detector.
+# checkpoint/restore, fault injection) and the supervised-resilience suite
+# (segment retries, degradation ladder, shadow verification) under the
+# detector.
 race:
-	$(GO) test -race ./internal/core ./internal/sched ./internal/telemetry
-	$(GO) test -race -run 'Panic|Cancel|Poison|Checkpoint|Restore|Fault|RegisterArray' .
+	$(GO) test -race ./internal/core ./internal/sched ./internal/telemetry ./internal/loops ./internal/faultpoint ./internal/resilience
+	$(GO) test -race -run 'Panic|Cancel|Poison|Checkpoint|Restore|Fault|RegisterArray|Supervised|LoopsEngine' .
+
+# soak runs the supervised-run soak with probabilistic faults armed at the
+# walker's base and cut sites: every visit rolls the dice, and the
+# supervisor must still converge to the bit-exact result. CI runs both
+# specs on every push.
+soak:
+	POCHOIR_FAULTPOINTS='walker/base=p:0.01' $(GO) test -race -count 3 -run TestSupervisedSoakEnvFaults -v .
+	POCHOIR_FAULTPOINTS='walker/cut=p:0.02' $(GO) test -race -count 3 -run TestSupervisedSoakEnvFaults -v .
 
 # fuzz-smoke gives the DSL fuzz target a short budget; CI runs it on every
 # push, and `go test` alone still replays the seed corpus.

@@ -8,6 +8,7 @@ package pochoir_test
 // GStencil/s numbers.
 
 import (
+	"context"
 	"testing"
 
 	"pochoir"
@@ -104,6 +105,63 @@ func BenchmarkHeat2D(b *testing.B) {
 		b.ReportMetric(float64(st.Bases)/n, "bases/op")
 		b.ReportMetric(float64(st.Zoids())/n, "zoids/op")
 		b.ReportMetric(float64(st.Spawns)/n, "spawns/op")
+	})
+}
+
+// BenchmarkSupervisedHeat2D measures the resilience supervisor's overhead
+// on the Heat 2D workload. NoCheckpoint is the happy path — one segment, no
+// state copies, supervisor bookkeeping only — and is the 5%-of-Run
+// acceptance bench. Segmented adds a checkpoint every 8 steps (4 deep
+// copies of the 512x512 grid per run); Verified additionally
+// shadow-recomputes a sampled 4x4 box's dependency cone per segment.
+func BenchmarkSupervisedHeat2D(b *testing.B) {
+	const X, Y, steps, seed = 512, 512, 32, 7
+	up := float64(X*Y) * float64(steps)
+	benchSup := func(b *testing.B, run func(st *pochoir.Stencil[float64], kern pochoir.Kernel) error) {
+		b.Helper()
+		b.ReportAllocs()
+		sts := make([]*pochoir.Stencil[float64], b.N)
+		kerns := make([]pochoir.Kernel, b.N)
+		for i := range sts {
+			sts[i], _, kerns[i] = heatStencil(b, pochoir.Options{}, X, Y, seed)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := run(sts[i], kerns[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(up*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpts/s")
+	}
+	b.Run("Run", func(b *testing.B) {
+		benchSup(b, func(st *pochoir.Stencil[float64], kern pochoir.Kernel) error {
+			return st.Run(steps, kern)
+		})
+	})
+	b.Run("SupervisedNoCheckpoint", func(b *testing.B) {
+		benchSup(b, func(st *pochoir.Stencil[float64], kern pochoir.Kernel) error {
+			_, err := st.RunSupervised(context.Background(), steps, kern,
+				pochoir.SupervisePolicy{NoCheckpoint: true})
+			return err
+		})
+	})
+	b.Run("SupervisedSegmented", func(b *testing.B) {
+		benchSup(b, func(st *pochoir.Stencil[float64], kern pochoir.Kernel) error {
+			_, err := st.RunSupervised(context.Background(), steps, kern,
+				pochoir.SupervisePolicy{SegmentSteps: 8})
+			return err
+		})
+	})
+	b.Run("SupervisedVerified", func(b *testing.B) {
+		benchSup(b, func(st *pochoir.Stencil[float64], kern pochoir.Kernel) error {
+			_, err := st.RunSupervised(context.Background(), steps, kern,
+				pochoir.SupervisePolicy{
+					SegmentSteps: 8,
+					Verify:       pochoir.VerifyPolicy{Enabled: true},
+				})
+			return err
+		})
 	})
 }
 

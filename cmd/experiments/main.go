@@ -15,6 +15,10 @@
 //	-run faults   hardened-execution demo: kernel panic isolation with zoid
 //	              attribution, run poisoning, checkpoint/restore retry, and
 //	              context-deadline cancellation latency
+//	-run resilience  supervised-run measurements: happy-path and segmented
+//	              checkpointing overhead, recovery cost of a fault at >90%
+//	              progress, the engine degradation ladder, and shadow
+//	              verification catching silent corruption
 //	-run all      everything above
 //
 // The telemetry experiment additionally honors -stats (print the full
@@ -44,7 +48,7 @@ import (
 )
 
 var (
-	runFlag   = flag.String("run", "all", "experiment to run (intro, fig3, fig5, fig9, fig10, fig13, mod, coarsen, tune, telemetry, faults, all)")
+	runFlag   = flag.String("run", "all", "experiment to run (intro, fig3, fig5, fig9, fig10, fig13, mod, coarsen, tune, telemetry, faults, resilience, all)")
 	quick     = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	benchName = flag.String("bench", "", "restrict fig3 to one benchmark name (e.g. \"Heat 2p\")")
 	statsFlag = flag.Bool("stats", false, "print the full telemetry stats report (telemetry experiment)")
@@ -56,19 +60,20 @@ func main() {
 	fmt.Printf("pochoir experiments — %d cores (GOMAXPROCS), go %s\n\n",
 		sched.Workers(), runtime.Version())
 	exps := map[string]func(){
-		"intro":     runIntro,
-		"fig3":      runFig3,
-		"fig5":      runFig5,
-		"fig9":      runFig9,
-		"fig10":     runFig10,
-		"fig13":     runFig13,
-		"mod":       runMod,
-		"coarsen":   runCoarsen,
-		"tune":      runTune,
-		"telemetry": runTelemetry,
-		"faults":    runFaults,
+		"intro":      runIntro,
+		"fig3":       runFig3,
+		"fig5":       runFig5,
+		"fig9":       runFig9,
+		"fig10":      runFig10,
+		"fig13":      runFig13,
+		"mod":        runMod,
+		"coarsen":    runCoarsen,
+		"tune":       runTune,
+		"telemetry":  runTelemetry,
+		"faults":     runFaults,
+		"resilience": runResilience,
 	}
-	order := []string{"intro", "fig3", "fig5", "fig9", "fig10", "fig13", "mod", "coarsen", "tune", "telemetry", "faults"}
+	order := []string{"intro", "fig3", "fig5", "fig9", "fig10", "fig13", "mod", "coarsen", "tune", "telemetry", "faults", "resilience"}
 	name := strings.ToLower(*runFlag)
 	if name == "all" {
 		for _, n := range order {

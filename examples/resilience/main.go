@@ -1,0 +1,87 @@
+// Resilience: supervised runs that survive their own kernels.
+//
+// RunSupervised splits a long stencil run into checkpointed time segments.
+// A segment that fails — kernel panic, injected fault, watchdog deadline —
+// is restored from its checkpoint and retried under jittered exponential
+// backoff; repeated failures walk a degradation ladder of execution
+// engines (TRAP → STRAP → serial checked loops), so a bug in the recursive
+// decomposition degrades service instead of denying it. Optional shadow
+// verification re-executes a sampled sub-box of each segment with the
+// reference executor and treats a mismatch like a failure: restore,
+// retry, degrade.
+//
+// This example crashes a Heat 2D kernel at 90% progress and lets the
+// supervisor recover — one segment recomputed, not fifty time steps —
+// then prints the supervisor's full decision log.
+//
+// Run with:
+//
+//	go run ./examples/resilience
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"pochoir"
+)
+
+func main() {
+	const X, Y, T = 128, 128, 50
+	sh := pochoir.MustShape(2, [][]int{
+		{1, 0, 0}, {0, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, -1}, {0, 0, 1},
+	})
+	heat := pochoir.New[float64](sh)
+	u := pochoir.MustArray[float64](sh.Depth(), X, Y)
+	u.RegisterBoundary(pochoir.PeriodicBoundary[float64]())
+	heat.MustRegisterArray(u)
+	for x := 0; x < X; x++ {
+		for y := 0; y < Y; y++ {
+			u.Set(0, float64((x*31+y*17)%97)/97, x, y)
+		}
+	}
+
+	// The kernel fails once, at 90% progress. An unsupervised Run would
+	// return a *KernelPanicError and leave the stencil poisoned; under the
+	// supervisor the fault costs one segment retry.
+	crashed := false
+	kern := pochoir.K2(func(t, x, y int) {
+		if t == T*9/10 && x == X/2 && y == Y/2 && !crashed {
+			crashed = true
+			panic("sensor dropout")
+		}
+		c := u.Get(t, x, y)
+		u.Set(t+1, c+
+			0.125*(u.Get(t, x+1, y)-2*c+u.Get(t, x-1, y))+
+			0.125*(u.Get(t, x, y+1)-2*c+u.Get(t, x, y-1)), x, y)
+	})
+
+	rep, err := heat.RunSupervised(context.Background(), T, kern, pochoir.SupervisePolicy{
+		SegmentSteps: 10,                    // checkpoint every 10 steps
+		MaxAttempts:  3,                     // per segment, first try included
+		BaseDelay:    10 * time.Millisecond, // jittered exponential backoff
+		Verify:       pochoir.VerifyPolicy{Enabled: true},
+	})
+	if err != nil {
+		log.Fatalf("run failed despite supervision: %v", err)
+	}
+
+	fmt.Printf("completed %d steps in %d segments: %d attempts, %d retries, "+
+		"%d checkpoints, %d verified, final engine %v\n",
+		rep.StepsDone, len(rep.Segments), rep.Attempts, rep.Retries,
+		rep.Checkpoints, rep.Verified, rep.FinalEngine)
+	fmt.Println("\nsupervisor decision log:")
+	for _, ev := range rep.Events {
+		fmt.Printf("  %s\n", ev)
+	}
+
+	var total float64
+	for x := 0; x < X; x++ {
+		for y := 0; y < Y; y++ {
+			total += u.Get(T, x, y)
+		}
+	}
+	fmt.Printf("\ntotal heat after %d steps: %.6f (conserved by the periodic boundary)\n", T, total)
+}

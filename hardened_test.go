@@ -34,7 +34,7 @@ var regimes = []struct {
 // heatStencil builds a periodic 2D heat stencil over an X×Y grid seeded
 // with deterministic data, returning the stencil, its array, and the
 // standard five-point kernel.
-func heatStencil(t *testing.T, opts pochoir.Options, X, Y int, seed int64) (*pochoir.Stencil[float64], *pochoir.Array[float64], pochoir.Kernel) {
+func heatStencil(t testing.TB, opts pochoir.Options, X, Y int, seed int64) (*pochoir.Stencil[float64], *pochoir.Array[float64], pochoir.Kernel) {
 	t.Helper()
 	sh := heat2DShape()
 	st := pochoir.NewWithOptions[float64](sh, opts)

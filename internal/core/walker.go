@@ -74,6 +74,14 @@ const (
 	// Frigo and Strumpen's parallel algorithm, incurring 2 parallel
 	// steps per cut dimension.
 	STRAP
+	// LOOPS executes the computation as a time-serial sequence of
+	// chunked full-grid sweeps through the base-case clones — no
+	// recursive decomposition and no parallelism. It is the engine of
+	// last resort on the resilience degradation ladder: a bug in the
+	// recursive decomposition cannot reach it, cancellation is honored
+	// between chunks, and kernel panics carry zoid attribution exactly as
+	// in the recursive engines.
+	LOOPS
 )
 
 func (a Algorithm) String() string {
@@ -82,6 +90,8 @@ func (a Algorithm) String() string {
 		return "TRAP"
 	case STRAP:
 		return "STRAP"
+	case LOOPS:
+		return "LOOPS"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
@@ -229,7 +239,7 @@ func (w *Walker) RunContext(ctx context.Context, t0, t1 int) (err error) {
 	}()
 
 	if w.Rec == nil {
-		w.walk(z, nil, 0)
+		w.exec(z, nil)
 		return nil
 	}
 	w.Rec.RunStarted()
@@ -240,9 +250,51 @@ func (w *Walker) RunContext(ctx context.Context, t0, t1 int) (err error) {
 		w.Rec.Release(sh)
 		w.Rec.RunFinished()
 	}()
-	w.walk(z, sh, 0)
+	w.exec(z, sh)
 	return nil
 }
+
+// exec dispatches the root zoid to the configured engine.
+func (w *Walker) exec(z zoid.Zoid, sh *telemetry.Shard) {
+	if w.Algorithm == LOOPS {
+		w.runLoops(z, sh)
+		return
+	}
+	w.walk(z, sh, 0)
+}
+
+// runLoops is the LOOPS engine: every time step is swept as height-1 zoids
+// chunked along dimension 0, each executed through base() — so interior/
+// boundary dispatch, panic attribution, telemetry, and the base-site
+// faultpoint behave exactly as in the recursive engines. Chunks of one time
+// step only read older time slots, so sweeping them in order is correct;
+// cancellation is checked once per chunk.
+func (w *Walker) runLoops(z zoid.Zoid, sh *telemetry.Shard) {
+	chunk := w.SpaceCutoff[0]
+	if chunk < 1 {
+		chunk = z.Hi[0] - z.Lo[0]
+	}
+	for t := z.T0; t < z.T1; t++ {
+		for lo := z.Lo[0]; lo < z.Hi[0]; lo += chunk {
+			if c := w.cancelled; c != nil && c.Load() {
+				return
+			}
+			step := z
+			step.T0, step.T1 = t, t+1
+			step.Lo[0] = lo
+			if hi := lo + chunk; hi < z.Hi[0] {
+				step.Hi[0] = hi
+			}
+			w.base(step, sh, 0)
+		}
+	}
+}
+
+// PanicToError converts a recovered panic value into the structured error
+// the hardened contract promises: *KernelPanicError survives scheduler
+// wrapping, anything else becomes a *sched.PanicError. It is exported so
+// other engines (the LOOPS baseline driver) convert identically.
+func PanicToError(r any) error { return panicToError(r) }
 
 // panicToError converts a panic recovered at the top of a run into the
 // error Run returns, unwrapping scheduler wrapping so a kernel panic that

@@ -26,18 +26,23 @@
 //
 //	site=action[:key=value[,key=value...]]
 //
-// where site is "walker/cut" or "walker/base", action is "panic" or
-// "sleep", and keys are depth (decomposition depth to fire at, default any),
-// after (matching visits to skip first, default 0), times (matching visits
-// to fire on before auto-disarming, default unlimited), msg (panic value),
-// and dur (sleep duration, Go syntax). For example:
+// where site is "walker/cut" or "walker/base", action is "panic", "sleep",
+// or "p" (probabilistic panic), and keys are depth (decomposition depth to
+// fire at, default any), after (matching visits to skip first, default 0),
+// times (matching visits to fire on before auto-disarming, default
+// unlimited), msg (panic value), dur (sleep duration, Go syntax), and prob
+// (fire each matching visit only with this probability — the soak-test
+// mode; the "p" action takes the probability as its first option). For
+// example:
 //
 //	POCHOIR_FAULTPOINTS='walker/base=panic:depth=2,after=3,msg=boom'
 //	POCHOIR_FAULTPOINTS='walker/cut=sleep:dur=50ms'
+//	POCHOIR_FAULTPOINTS='walker/base=p:0.01'
 package faultpoint
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
@@ -90,6 +95,14 @@ type Spec struct {
 	Panic any
 	// Sleep is the stall duration for KindSleep.
 	Sleep time.Duration
+	// Prob, when positive, makes each matching visit fire only with this
+	// probability (the soak-test mode); zero keeps the fully deterministic
+	// behaviour. Visits that lose the roll count toward After but not
+	// Times.
+	Prob float64
+	// Rand overrides the probability source for deterministic tests; nil
+	// uses the package's seeded generator.
+	Rand func() float64
 }
 
 // Injected is the default panic value of a fired KindPanic failpoint.
@@ -114,6 +127,10 @@ var (
 
 	mu     sync.Mutex
 	points = map[Site]*state{}
+	// probRNG drives probabilistic firing; guarded by mu (Visit holds it
+	// when rolling). A fixed seed keeps soak runs reproducible for a given
+	// visit sequence.
+	probRNG = rand.New(rand.NewSource(0x9e3779b9))
 )
 
 // Armed reports whether any failpoint is armed. Instrumented sites gate
@@ -181,6 +198,16 @@ func Visit(site Site, depth int) {
 		mu.Unlock()
 		return
 	}
+	if p := st.spec.Prob; p > 0 {
+		roll := st.spec.Rand
+		if roll == nil {
+			roll = probRNG.Float64
+		}
+		if roll() >= p {
+			mu.Unlock()
+			return
+		}
+	}
 	spec := st.spec
 	st.fired++
 	if spec.Times > 0 && st.fired >= spec.Times {
@@ -235,13 +262,28 @@ func ArmFromSpec(env string) error {
 			spec.Kind = KindPanic
 		case "sleep":
 			spec.Kind = KindSleep
+		case "p":
+			// Probabilistic panic: the first option is the probability
+			// itself (site=p:0.01), further options follow as key=value.
+			spec.Kind = KindPanic
+			if opts == "" {
+				return fmt.Errorf("faultpoint: action p needs a probability (site=p:0.01)")
+			}
 		default:
 			return fmt.Errorf("faultpoint: unknown action %q", action)
 		}
 		if opts != "" {
-			for _, kv := range strings.Split(opts, ",") {
+			for i, kv := range strings.Split(opts, ",") {
 				k, v, ok := strings.Cut(kv, "=")
 				if !ok {
+					if action == "p" && i == 0 {
+						p, err := strconv.ParseFloat(kv, 64)
+						if err != nil || p <= 0 || p > 1 {
+							return fmt.Errorf("faultpoint: probability %q: want a float in (0,1]", kv)
+						}
+						spec.Prob = p
+						continue
+					}
 					return fmt.Errorf("faultpoint: option %q: want key=value", kv)
 				}
 				switch k {
@@ -265,6 +307,12 @@ func ArmFromSpec(env string) error {
 					spec.Times = n
 				case "msg":
 					spec.Panic = v
+				case "prob":
+					p, err := strconv.ParseFloat(v, 64)
+					if err != nil || p <= 0 || p > 1 {
+						return fmt.Errorf("faultpoint: prob %q: want a float in (0,1]", v)
+					}
+					spec.Prob = p
 				case "dur":
 					d, err := time.ParseDuration(v)
 					if err != nil {
@@ -275,6 +323,9 @@ func ArmFromSpec(env string) error {
 					return fmt.Errorf("faultpoint: unknown option %q", k)
 				}
 			}
+		}
+		if action == "p" && spec.Prob == 0 {
+			return fmt.Errorf("faultpoint: action p needs a probability first (site=p:0.01)")
 		}
 		entries = append(entries, entry{site: Site(site), spec: spec})
 	}

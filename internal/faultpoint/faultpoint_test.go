@@ -109,8 +109,10 @@ func TestArmFromSpec(t *testing.T) {
 		t.Fatal("sites not armed")
 	}
 	want := Spec{Kind: KindPanic, Depth: 2, After: 3, Times: 1, Panic: "kaput"}
-	if base.spec != want {
-		t.Fatalf("base spec = %+v, want %+v", base.spec, want)
+	if got := base.spec; got.Kind != want.Kind || got.Depth != want.Depth ||
+		got.After != want.After || got.Times != want.Times || got.Panic != want.Panic ||
+		got.Prob != 0 {
+		t.Fatalf("base spec = %+v, want %+v", got, want)
 	}
 	if cut.spec.Kind != KindSleep || cut.spec.Sleep != 5*time.Millisecond || cut.spec.Depth != AnyDepth {
 		t.Fatalf("cut spec = %+v", cut.spec)
@@ -136,5 +138,110 @@ func TestArmFromSpecErrors(t *testing.T) {
 	}
 	if err := ArmFromSpec("  "); err != nil {
 		t.Errorf("blank spec rejected: %v", err)
+	}
+}
+
+// seqRand returns a Rand stub that plays back the given rolls in order.
+func seqRand(rolls ...float64) func() float64 {
+	i := 0
+	return func() float64 {
+		r := rolls[i%len(rolls)]
+		i++
+		return r
+	}
+}
+
+func TestProbabilisticFiresOnWinningRollsOnly(t *testing.T) {
+	defer DisarmAll()
+	// p=0.25: rolls in [0, 0.25) fire, the rest pass through.
+	Arm(SiteBase, Spec{Kind: KindPanic, Depth: AnyDepth, Prob: 0.25,
+		Rand: seqRand(0.9, 0.5, 0.1, 0.3)})
+	for i, want := range []bool{false, false, true, false} {
+		r := visit(SiteBase, 0)
+		if fired := r != nil; fired != want {
+			t.Fatalf("visit %d: fired=%v, want %v (r=%v)", i, fired, want, r)
+		}
+	}
+	if got := Fired(SiteBase); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+}
+
+func TestProbabilisticLosingRollsDoNotConsumeTimes(t *testing.T) {
+	defer DisarmAll()
+	// times=1 must survive any number of losing rolls and fire exactly on
+	// the first winning one, then auto-disarm.
+	Arm(SiteBase, Spec{Kind: KindPanic, Depth: AnyDepth, Prob: 0.5, Times: 1,
+		Rand: seqRand(0.9, 0.9, 0.9, 0.1)})
+	for i := 0; i < 3; i++ {
+		if r := visit(SiteBase, 0); r != nil {
+			t.Fatalf("losing visit %d fired: %v", i, r)
+		}
+	}
+	if r := visit(SiteBase, 0); r == nil {
+		t.Fatal("winning roll did not fire")
+	}
+	if Armed() {
+		t.Fatal("times=1 did not auto-disarm after firing")
+	}
+}
+
+func TestProbabilisticRespectsAfter(t *testing.T) {
+	defer DisarmAll()
+	// The first After visits never roll; a winning roll right after does.
+	Arm(SiteBase, Spec{Kind: KindPanic, Depth: AnyDepth, Prob: 1, After: 2,
+		Rand: seqRand(0.0)})
+	for i := 0; i < 2; i++ {
+		if r := visit(SiteBase, 0); r != nil {
+			t.Fatalf("skipped visit %d fired: %v", i, r)
+		}
+	}
+	if r := visit(SiteBase, 0); r == nil {
+		t.Fatal("post-After visit with p=1 did not fire")
+	}
+}
+
+func TestArmFromSpecProbabilistic(t *testing.T) {
+	defer DisarmAll()
+	if err := ArmFromSpec("walker/base=p:0.01,times=3"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	st := points[SiteBase]
+	mu.Unlock()
+	if st == nil {
+		t.Fatal("site not armed")
+	}
+	if st.spec.Kind != KindPanic || st.spec.Prob != 0.01 || st.spec.Times != 3 {
+		t.Fatalf("spec = %+v, want probabilistic panic p=0.01 times=3", st.spec)
+	}
+	DisarmAll()
+	// prob= as a key on a plain panic action works too.
+	if err := ArmFromSpec("walker/cut=panic:prob=0.5,msg=zap"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	st = points[SiteCut]
+	mu.Unlock()
+	if st == nil || st.spec.Prob != 0.5 || st.spec.Panic != "zap" {
+		t.Fatalf("spec = %+v, want prob=0.5 msg=zap", st.spec)
+	}
+	DisarmAll()
+	for _, bad := range []string{
+		"walker/base=p",
+		"walker/base=p:",
+		"walker/base=p:0",
+		"walker/base=p:1.5",
+		"walker/base=p:x",
+		"walker/base=panic:prob=0",
+		"walker/base=panic:prob=2",
+	} {
+		if err := ArmFromSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+		if Armed() {
+			t.Errorf("spec %q armed something despite error", bad)
+			DisarmAll()
+		}
 	}
 }

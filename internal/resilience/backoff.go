@@ -1,0 +1,32 @@
+package resilience
+
+import "time"
+
+// backoffDelay returns the delay before retry number retry (1 = the first
+// retry): exponential growth from BaseDelay by Multiplier, capped at
+// MaxDelay before jitter, then spread uniformly over
+// [d*(1-Jitter), d*(1+Jitter)]. Policy must already have defaults applied.
+func (p Policy) backoffDelay(retry int) time.Duration {
+	if retry < 1 {
+		retry = 1
+	}
+	d := float64(p.BaseDelay)
+	cap := float64(p.MaxDelay)
+	for i := 1; i < retry; i++ {
+		d *= p.Multiplier
+		if d >= cap {
+			d = cap
+			break
+		}
+	}
+	if d > cap {
+		d = cap
+	}
+	if p.Jitter > 0 {
+		d *= 1 - p.Jitter + 2*p.Jitter*p.Rand()
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}

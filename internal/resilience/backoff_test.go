@@ -1,0 +1,83 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffExponentialGrowthAndCap(t *testing.T) {
+	p := Policy{
+		BaseDelay:  10 * time.Millisecond,
+		MaxDelay:   100 * time.Millisecond,
+		Multiplier: 2,
+		Jitter:     -1, // disabled
+	}.WithDefaults()
+	want := []time.Duration{
+		10 * time.Millisecond,  // retry 1
+		20 * time.Millisecond,  // retry 2
+		40 * time.Millisecond,  // retry 3
+		80 * time.Millisecond,  // retry 4
+		100 * time.Millisecond, // retry 5: capped
+		100 * time.Millisecond, // retry 6: stays capped
+	}
+	for i, w := range want {
+		if got := p.backoffDelay(i + 1); got != w {
+			t.Errorf("retry %d: delay = %v, want %v", i+1, got, w)
+		}
+	}
+	// Out-of-range retry numbers clamp to the first retry.
+	if got := p.backoffDelay(0); got != want[0] {
+		t.Errorf("retry 0: delay = %v, want %v", got, want[0])
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	// With jitter j, every delay must land in [d*(1-j), d*(1+j)]; the
+	// extremes of the unit roll map to the extremes of the window.
+	const base = 100 * time.Millisecond
+	for _, roll := range []float64{0, 0.25, 0.5, 0.75, 0.999999} {
+		p := Policy{
+			BaseDelay:  base,
+			MaxDelay:   time.Second,
+			Multiplier: 2,
+			Jitter:     0.2,
+			Rand:       func() float64 { return roll },
+		}.WithDefaults()
+		got := p.backoffDelay(1)
+		lo := time.Duration(0.8 * float64(base))
+		hi := time.Duration(1.2 * float64(base))
+		if got < lo || got > hi {
+			t.Errorf("roll %v: delay %v outside [%v, %v]", roll, got, lo, hi)
+		}
+		want := time.Duration(float64(base) * (0.8 + 0.4*roll))
+		if got != want {
+			t.Errorf("roll %v: delay %v, want %v", roll, got, want)
+		}
+	}
+}
+
+func TestBackoffJitterAppliesAfterCap(t *testing.T) {
+	// The cap bounds the exponential growth, not the jittered result: a
+	// high roll may exceed MaxDelay by at most the jitter fraction.
+	p := Policy{
+		BaseDelay:  80 * time.Millisecond,
+		MaxDelay:   100 * time.Millisecond,
+		Multiplier: 2,
+		Jitter:     0.2,
+		Rand:       func() float64 { return 1 },
+	}.WithDefaults()
+	got := p.backoffDelay(5)
+	if want := 120 * time.Millisecond; got != want {
+		t.Errorf("delay = %v, want capped 100ms * 1.2 = %v", got, want)
+	}
+}
+
+func TestBackoffDefaultJitterIsOn(t *testing.T) {
+	p := Policy{Rand: func() float64 { return 0 }}.WithDefaults()
+	if p.Jitter != 0.2 {
+		t.Fatalf("default jitter = %v, want 0.2", p.Jitter)
+	}
+	if got, want := p.backoffDelay(1), time.Duration(0.8*float64(10*time.Millisecond)); got != want {
+		t.Errorf("delay = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,181 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+
+	"pochoir/internal/telemetry"
+)
+
+// Driver is the set of operations the supervisor orchestrates. The stencil
+// layer (pochoir.Stencil.RunSupervised) supplies closures over a concrete
+// run; tests supply stubs. All callbacks are invoked from the supervising
+// goroutine, never concurrently.
+type Driver struct {
+	// Steps is the total number of time steps to complete.
+	Steps int
+	// Run executes steps time steps starting at absolute step fromStep
+	// with the given engine, honouring ctx. It must leave the computation
+	// either advanced by steps (nil return) or in a state Restore can roll
+	// back (error return).
+	Run func(ctx context.Context, eng Engine, fromStep, steps int) error
+	// Checkpoint snapshots the state at a segment boundary; Restore rolls
+	// back to the most recent snapshot. Only called when checkpointing is
+	// enabled.
+	Checkpoint func() error
+	Restore    func() error
+	// Verify, when non-nil and enabled by Policy.Verify, shadow-checks the
+	// just-completed segment; a non-nil return (typically a *VerifyError)
+	// is treated as a segment failure.
+	Verify func(ctx context.Context, segment, fromStep, steps int) error
+}
+
+// Supervise runs d.Steps time steps under policy p: segment by segment,
+// checkpointing at each boundary, retrying failed segments from their
+// checkpoint under jittered exponential backoff, and degrading down the
+// engine ladder when a segment keeps failing. It returns a Report in all
+// cases; the error is non-nil when the run could not be completed (attempt
+// budget exhausted, checkpointing disabled, parent context cancelled, or a
+// checkpoint/restore operation itself failed).
+func Supervise(ctx context.Context, d Driver, p Policy) (*Report, error) {
+	p = p.WithDefaults()
+	if p.Verify.Enabled {
+		// Shadow verification recomputes from the segment-start snapshot,
+		// so it needs the checkpoints NoCheckpoint would skip.
+		p.NoCheckpoint = false
+	}
+	segSteps := p.SegmentSteps
+	if segSteps <= 0 || segSteps > d.Steps {
+		segSteps = d.Steps
+	}
+	rung := 0
+	rep := &Report{Steps: d.Steps, FinalEngine: p.Ladder[0]}
+	start := p.Clock.Now()
+	emit := func(ev telemetry.SupEvent) {
+		if p.Telemetry != nil {
+			p.Telemetry.Supervisor(ev) // the recorder stamps its copy itself
+		}
+		ev.TS = p.Clock.Now().Sub(start).Nanoseconds()
+		rep.Events = append(rep.Events, ev)
+	}
+	fail := func(seg SegmentReport, err error) (*Report, error) {
+		rep.Segments = append(rep.Segments, seg)
+		rep.FinalEngine = p.Ladder[rung]
+		rep.Err = err
+		emit(telemetry.SupEvent{Kind: telemetry.SupGiveUp, Segment: seg.Index,
+			Attempt: seg.Attempts, Engine: p.Ladder[rung].String(), Err: err.Error()})
+		return rep, err
+	}
+
+	for from := 0; from < d.Steps; {
+		steps := segSteps
+		if from+steps > d.Steps {
+			steps = d.Steps - from
+		}
+		seg := SegmentReport{Index: len(rep.Segments), FromStep: from, Steps: steps, Engine: p.Ladder[rung]}
+		emit(telemetry.SupEvent{Kind: telemetry.SupSegmentStart, Segment: seg.Index,
+			Engine: p.Ladder[rung].String()})
+
+		if !p.NoCheckpoint {
+			if err := d.Checkpoint(); err != nil {
+				return fail(seg, fmt.Errorf("resilience: checkpoint before segment %d: %w", seg.Index, err))
+			}
+			rep.Checkpoints++
+			emit(telemetry.SupEvent{Kind: telemetry.SupCheckpoint, Segment: seg.Index})
+		}
+
+		var segErr error
+		failures := 0
+		for attempt := 1; ; attempt++ {
+			rep.Attempts++
+			if attempt > 1 {
+				rep.Retries++
+			}
+			seg.Attempts = attempt
+			eng := p.Ladder[rung]
+			seg.Engine = eng
+
+			runCtx := ctx
+			var cancel context.CancelFunc
+			if p.SegmentTimeout > 0 {
+				runCtx, cancel = p.Clock.WithTimeout(ctx, p.SegmentTimeout)
+			}
+			err := d.Run(runCtx, eng, from, steps)
+			if cancel != nil {
+				cancel()
+			}
+
+			if err == nil && p.Verify.Enabled && d.Verify != nil && seg.Index%p.Verify.Every == 0 {
+				if verr := d.Verify(ctx, seg.Index, from, steps); verr != nil {
+					rep.VerifyMismatches++
+					seg.VerifyMismatch = true
+					emit(telemetry.SupEvent{Kind: telemetry.SupVerifyMismatch, Segment: seg.Index,
+						Attempt: attempt, Engine: eng.String(), Err: verr.Error()})
+					err = verr
+				} else {
+					rep.Verified++
+					seg.Verified = true
+					emit(telemetry.SupEvent{Kind: telemetry.SupVerifyOK, Segment: seg.Index,
+						Attempt: attempt, Engine: eng.String()})
+				}
+			}
+
+			if err == nil {
+				segErr = nil
+				break
+			}
+			segErr = err
+			failures++
+			seg.Failures = append(seg.Failures, err.Error())
+			emit(telemetry.SupEvent{Kind: telemetry.SupSegmentFail, Segment: seg.Index,
+				Attempt: attempt, Engine: eng.String(), Err: err.Error()})
+
+			if ctx.Err() != nil {
+				// The parent gave up; retrying would spin on a dead context.
+				break
+			}
+			if p.NoCheckpoint {
+				// Nothing to restore to: the first failure is terminal and
+				// the underlying state stays poisoned.
+				break
+			}
+			if attempt >= p.MaxAttempts {
+				break
+			}
+
+			if rerr := d.Restore(); rerr != nil {
+				segErr = fmt.Errorf("resilience: restore for segment %d retry: %w", seg.Index, rerr)
+				break
+			}
+			rep.Restores++
+			emit(telemetry.SupEvent{Kind: telemetry.SupRestore, Segment: seg.Index, Attempt: attempt})
+
+			if failures%p.DegradeAfter == 0 && rung < len(p.Ladder)-1 {
+				rung++
+				rep.Degradations++
+				emit(telemetry.SupEvent{Kind: telemetry.SupDegrade, Segment: seg.Index,
+					Attempt: attempt, Engine: p.Ladder[rung].String()})
+			}
+
+			delay := p.backoffDelay(failures)
+			rep.BackoffTotal += delay
+			seg.Backoff += delay
+			emit(telemetry.SupEvent{Kind: telemetry.SupBackoff, Segment: seg.Index,
+				Attempt: attempt, Delay: delay})
+			if serr := p.Clock.Sleep(ctx, delay); serr != nil {
+				break // parent cancelled mid-backoff; segErr keeps the run error
+			}
+		}
+
+		if segErr != nil {
+			return fail(seg, segErr)
+		}
+		rep.FinalEngine = p.Ladder[rung]
+		rep.Segments = append(rep.Segments, seg)
+		rep.StepsDone = from + steps
+		emit(telemetry.SupEvent{Kind: telemetry.SupSegmentDone, Segment: seg.Index,
+			Attempt: seg.Attempts, Engine: seg.Engine.String()})
+		from += steps
+	}
+	return rep, nil
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 )
 
 // WriteChromeTrace renders the recorded events in the Chrome trace-event
@@ -47,6 +49,16 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 				ev.Kind, s.id, ts, beginArgs(ev))
 		}
 	}
+	if len(r.sup) > 0 {
+		// Supervisor decisions render as instant events on a dedicated
+		// track above the worker span trees.
+		supTid := len(r.shards)
+		emit(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"supervisor"}}`, supTid)
+		for _, ev := range r.sup {
+			emit(`{"name":"%s","cat":"supervisor","ph":"i","s":"p","pid":1,"tid":%d,"ts":%.3f,"args":{%s}}`,
+				ev.Kind, supTid, float64(ev.TS)/1e3, supArgs(ev))
+		}
+	}
 	if _, err := bw.WriteString("]}\n"); err != nil {
 		return err
 	}
@@ -70,6 +82,23 @@ func beginArgs(ev Event) string {
 		return fmt.Sprintf(`"volume":%d,"clone":"%s","height":%d`, ev.A0, clone, ev.A2)
 	}
 	return ""
+}
+
+// supArgs renders the args object body of a supervisor instant event.
+// Error strings come from arbitrary panic values, so they are JSON-quoted.
+func supArgs(ev SupEvent) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `"segment":%d,"attempt":%d`, ev.Segment, ev.Attempt)
+	if ev.Engine != "" {
+		fmt.Fprintf(&sb, `,"engine":%s`, strconv.Quote(ev.Engine))
+	}
+	if ev.Delay > 0 {
+		fmt.Fprintf(&sb, `,"delay_us":%d`, ev.Delay.Microseconds())
+	}
+	if ev.Err != "" {
+		fmt.Fprintf(&sb, `,"err":%s`, strconv.Quote(ev.Err))
+	}
+	return sb.String()
 }
 
 // WriteChromeTraceFile writes the Chrome trace to path.

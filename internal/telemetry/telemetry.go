@@ -28,6 +28,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"sync"
 	"time"
 )
@@ -218,6 +219,91 @@ func log2Bucket(v int64) int {
 	return b
 }
 
+// SupKind classifies one supervisor decision (see SupEvent). The
+// supervision layer in internal/resilience emits these; telemetry only
+// stores and exports them, keeping the package dependency-free.
+type SupKind uint8
+
+const (
+	// SupSegmentStart marks the beginning of a time segment.
+	SupSegmentStart SupKind = iota
+	// SupSegmentDone marks a segment that completed (and, when enabled,
+	// verified) successfully.
+	SupSegmentDone
+	// SupSegmentFail marks one failed attempt at a segment: kernel panic,
+	// engine panic, deadline blowout, or verification mismatch.
+	SupSegmentFail
+	// SupCheckpoint marks an inter-segment checkpoint.
+	SupCheckpoint
+	// SupRestore marks a rollback to the segment's checkpoint before a retry.
+	SupRestore
+	// SupBackoff marks a jittered exponential-backoff wait before a retry.
+	SupBackoff
+	// SupDegrade marks a step down the engine degradation ladder.
+	SupDegrade
+	// SupVerifyOK marks a shadow verification that matched.
+	SupVerifyOK
+	// SupVerifyMismatch marks a shadow verification that caught divergence.
+	SupVerifyMismatch
+	// SupGiveUp marks attempt-budget exhaustion: the supervisor returns the
+	// segment's last error to the caller.
+	SupGiveUp
+)
+
+func (k SupKind) String() string {
+	switch k {
+	case SupSegmentStart:
+		return "segment-start"
+	case SupSegmentDone:
+		return "segment-done"
+	case SupSegmentFail:
+		return "segment-fail"
+	case SupCheckpoint:
+		return "checkpoint"
+	case SupRestore:
+		return "restore"
+	case SupBackoff:
+		return "retry-backoff"
+	case SupDegrade:
+		return "degrade"
+	case SupVerifyOK:
+		return "verify-ok"
+	case SupVerifyMismatch:
+		return "verify-mismatch"
+	case SupGiveUp:
+		return "give-up"
+	}
+	return "unknown"
+}
+
+// SupEvent is one typed, timestamped supervisor decision. Events are rare
+// (a handful per segment), so they are recorded under the recorder's lock
+// rather than through shards.
+type SupEvent struct {
+	TS      int64 // nanoseconds since the recorder's epoch; stamped on record
+	Kind    SupKind
+	Segment int           // segment index, 0-based
+	Attempt int           // attempt number within the segment, 1-based
+	Engine  string        // engine in effect (TRAP, STRAP, LOOPS)
+	Delay   time.Duration // backoff delay (SupBackoff) or watchdog timeout
+	Err     string        // failure description, when applicable
+}
+
+// String renders the event as a one-line log entry:
+//
+//	+12.345ms seg 3 attempt 2 [STRAP] retry-backoff delay=20ms
+func (e SupEvent) String() string {
+	s := fmt.Sprintf("%+9.3fms seg %d attempt %d [%s] %s",
+		float64(e.TS)/1e6, e.Segment, e.Attempt, e.Engine, e.Kind)
+	if e.Delay != 0 {
+		s += fmt.Sprintf(" delay=%v", e.Delay)
+	}
+	if e.Err != "" {
+		s += ": " + e.Err
+	}
+	return s
+}
+
 // Recorder owns the epoch clock, the shard pool, and the wall-time
 // accounting. The zero value is not usable; call New.
 type Recorder struct {
@@ -226,6 +312,7 @@ type Recorder struct {
 	mu       sync.Mutex
 	shards   []*Shard
 	free     []*Shard
+	sup      []SupEvent
 	wallNS   int64
 	runStart time.Time
 	running  int
@@ -288,6 +375,25 @@ func (r *Recorder) RunFinished() {
 	r.mu.Unlock()
 }
 
+// Supervisor records one supervisor decision event, stamping it with the
+// recorder's epoch clock. Unlike span recording it may be called while an
+// instrumented run executes on other goroutines: supervisor events live in
+// their own slice under the recorder lock.
+func (r *Recorder) Supervisor(ev SupEvent) {
+	r.mu.Lock()
+	ev.TS = r.now()
+	r.sup = append(r.sup, ev)
+	r.mu.Unlock()
+}
+
+// SupervisorEvents returns a copy of the recorded supervisor decisions in
+// order.
+func (r *Recorder) SupervisorEvents() []SupEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SupEvent(nil), r.sup...)
+}
+
 // Workers returns the number of distinct worker shards created so far.
 func (r *Recorder) Workers() int {
 	r.mu.Lock()
@@ -326,5 +432,6 @@ func (r *Recorder) Snapshot() Stats {
 		st.WorkerBusy[i] = time.Duration(s.busyNS)
 		st.Events += int64(len(s.events))
 	}
+	st.SupEvents = int64(len(r.sup))
 	return st
 }
