@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench verify fuzz-smoke soak
+.PHONY: build vet test race bench verify fuzz-smoke soak monitor-smoke
 
 build:
 	$(GO) build ./...
@@ -24,8 +24,8 @@ test:
 # (segment retries, degradation ladder, shadow verification) under the
 # detector.
 race:
-	$(GO) test -race ./internal/core ./internal/sched ./internal/telemetry ./internal/loops ./internal/faultpoint ./internal/resilience
-	$(GO) test -race -run 'Panic|Cancel|Poison|Checkpoint|Restore|Fault|RegisterArray|Supervised|LoopsEngine' .
+	$(GO) test -race ./internal/core ./internal/sched ./internal/telemetry ./internal/loops ./internal/faultpoint ./internal/resilience ./internal/metrics
+	$(GO) test -race -run 'Panic|Cancel|Poison|Checkpoint|Restore|Fault|RegisterArray|Supervised|LoopsEngine|Monitor|Progress' .
 
 # soak runs the supervised-run soak with probabilistic faults armed at the
 # walker's base and cut sites: every visit rolls the dice, and the
@@ -45,5 +45,13 @@ fuzz-smoke:
 # reports the decomposition counters.
 bench:
 	$(GO) test -run '^$$' -bench Heat2D -benchtime 10x .
+
+# monitor-smoke runs the self-scraping monitoring experiment: a supervised
+# run scraped twice over HTTP from its own embedded monitor server, every
+# exposition validated line-by-line, the zoid counter checked strictly
+# increasing, and the progress estimator checked to finish at 100%. The
+# experiment exits nonzero on any violation.
+monitor-smoke:
+	$(GO) run ./cmd/experiments -run monitor -quick
 
 verify: build vet test race

@@ -108,6 +108,26 @@ func BenchmarkHeat2D(b *testing.B) {
 	})
 }
 
+// BenchmarkHeat2DMonitored is the monitoring acceptance benchmark: the same
+// Heat 2D workload as BenchmarkHeat2D but with a metrics registry armed and
+// the embedded monitor server listening (unscrapped — the cost measured is
+// the instrumentation itself: striped atomic counter updates at every cut,
+// base case, and scheduler decision, plus the progress estimator).
+func BenchmarkHeat2DMonitored(b *testing.B) {
+	f := stencils.NewHeat2DFactory(true)
+	sizes, steps := []int{512, 512}, 32
+	up := float64(sizes[0]*sizes[1]) * float64(steps)
+	reg := pochoir.NewMetrics()
+	mon, err := pochoir.ServeMonitor("127.0.0.1:0", reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mon.Close()
+	benchJob(b, func() stencils.Job {
+		return f.New(sizes, steps).Pochoir(pochoir.Options{Metrics: reg})
+	}, up)
+}
+
 // BenchmarkSupervisedHeat2D measures the resilience supervisor's overhead
 // on the Heat 2D workload. NoCheckpoint is the happy path — one segment, no
 // state copies, supervisor bookkeeping only — and is the 5%-of-Run

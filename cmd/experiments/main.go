@@ -19,6 +19,9 @@
 //	              checkpointing overhead, recovery cost of a fault at >90%
 //	              progress, the engine degradation ladder, and shadow
 //	              verification catching silent corruption
+//	-run monitor  live-monitoring smoke test: a supervised run scraped over
+//	              HTTP from its own embedded monitor server, with the
+//	              exposition validated and the counters checked monotone
 //	-run all      everything above
 //
 // The telemetry experiment additionally honors -stats (print the full
@@ -48,7 +51,7 @@ import (
 )
 
 var (
-	runFlag   = flag.String("run", "all", "experiment to run (intro, fig3, fig5, fig9, fig10, fig13, mod, coarsen, tune, telemetry, faults, resilience, all)")
+	runFlag   = flag.String("run", "all", "experiment to run (intro, fig3, fig5, fig9, fig10, fig13, mod, coarsen, tune, telemetry, faults, resilience, monitor, all)")
 	quick     = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	benchName = flag.String("bench", "", "restrict fig3 to one benchmark name (e.g. \"Heat 2p\")")
 	statsFlag = flag.Bool("stats", false, "print the full telemetry stats report (telemetry experiment)")
@@ -72,8 +75,9 @@ func main() {
 		"telemetry":  runTelemetry,
 		"faults":     runFaults,
 		"resilience": runResilience,
+		"monitor":    runMonitor,
 	}
-	order := []string{"intro", "fig3", "fig5", "fig9", "fig10", "fig13", "mod", "coarsen", "tune", "telemetry", "faults", "resilience"}
+	order := []string{"intro", "fig3", "fig5", "fig9", "fig10", "fig13", "mod", "coarsen", "tune", "telemetry", "faults", "resilience", "monitor"}
 	name := strings.ToLower(*runFlag)
 	if name == "all" {
 		for _, n := range order {

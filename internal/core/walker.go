@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"pochoir/internal/faultpoint"
+	"pochoir/internal/metrics"
 	"pochoir/internal/sched"
 	"pochoir/internal/telemetry"
 	"pochoir/internal/zoid"
@@ -127,6 +128,24 @@ type Walker struct {
 	// runs execute the unmodified hot path.
 	Rec *telemetry.Recorder
 
+	// Met, when non-nil, is the live metrics instrument set the walk
+	// updates: zoid/cut/base-case counters, point throughput, fork
+	// placement, active workers. Unlike telemetry shards, these are
+	// shared atomics a monitor scrapes mid-run. Nil — the default — costs
+	// one pointer comparison per instrumentation point.
+	Met *metrics.RunMetrics
+
+	// Prog, when non-nil, receives every executed base-case volume so the
+	// monitor can publish percent-complete and an ETA for the run.
+	Prog *metrics.Progress
+
+	// engPoints is Met.EnginePoints[Algorithm], resolved once per run so
+	// the base case indexes no array on the hot path; metObs is the
+	// pre-boxed sched observer, allocated once per run rather than once
+	// per fork-join region.
+	engPoints *metrics.Counter
+	metObs    *metricsObserver
+
 	// cancelled is the per-run cooperative cancellation flag, set by a
 	// watcher goroutine when the RunContext context fires. It is nil for
 	// non-cancellable runs, so the uncancellable fast path pays one
@@ -203,6 +222,18 @@ func (w *Walker) RunContext(ctx context.Context, t0, t1 int) (err error) {
 	}
 	z := zoid.Box(t0, t1, w.Sizes[:w.NDims])
 
+	w.engPoints, w.metObs = nil, nil
+	if m := w.Met; m != nil {
+		m.RunsStarted.Inc()
+		m.RunsActive.Inc()
+		defer m.RunsActive.Dec()
+		alg := int(w.Algorithm)
+		if alg >= 0 && alg < len(m.EnginePoints) {
+			w.engPoints = m.EnginePoints[alg]
+		}
+		w.metObs = &metricsObserver{m: m}
+	}
+
 	if done := ctx.Done(); done != nil {
 		var flag atomic.Bool
 		w.cancelled = &flag
@@ -278,6 +309,9 @@ func (w *Walker) runLoops(z zoid.Zoid, sh *telemetry.Shard) {
 		for lo := z.Lo[0]; lo < z.Hi[0]; lo += chunk {
 			if c := w.cancelled; c != nil && c.Load() {
 				return
+			}
+			if m := w.Met; m != nil {
+				m.Zoids.Inc()
 			}
 			step := z
 			step.T0, step.T1 = t, t+1
@@ -383,6 +417,9 @@ func (w *Walker) walk(z zoid.Zoid, sh *telemetry.Shard, depth int) {
 	if c := w.cancelled; c != nil && c.Load() {
 		return
 	}
+	if m := w.Met; m != nil {
+		m.Zoids.Inc()
+	}
 	var cutBuf [zoid.MaxDims]zoid.Cut
 	cuts := w.cuttable(z, cutBuf[:0])
 	if len(cuts) > 0 {
@@ -402,6 +439,9 @@ func (w *Walker) walk(z zoid.Zoid, sh *telemetry.Shard, depth int) {
 			faultpoint.Visit(faultpoint.SiteCut, depth)
 		}
 		lower, upper := z.TimeCut()
+		if m := w.Met; m != nil {
+			m.TimeCuts.Inc()
+		}
 		span := -1
 		if sh != nil {
 			span = sh.TimeCut(h)
@@ -420,6 +460,9 @@ func (w *Walker) walk(z zoid.Zoid, sh *telemetry.Shard, depth int) {
 // parallel (Fig. 2, lines 11–15).
 func (w *Walker) hyperspaceCut(z zoid.Zoid, cuts []zoid.Cut, sh *telemetry.Shard, depth int) {
 	lv := zoid.HyperspaceCut(z, cuts)
+	if m := w.Met; m != nil {
+		m.HyperCuts.Inc()
+	}
 	span := -1
 	if sh != nil {
 		span = sh.HyperCut(lv.NumCut, lv.Total(), len(lv.Zoids))
@@ -437,6 +480,9 @@ func (w *Walker) hyperspaceCut(z zoid.Zoid, cuts []zoid.Cut, sh *telemetry.Shard
 // process its pieces in the 2 parallel steps of Fig. 7, and let the
 // recursion discover further cuttable dimensions one at a time.
 func (w *Walker) spaceCutSerialDims(z zoid.Zoid, c zoid.Cut, sh *telemetry.Shard, depth int) {
+	if m := w.Met; m != nil {
+		m.SpaceCuts.Inc()
+	}
 	span := -1
 	if sh != nil {
 		span = sh.SpaceCut(c.Dim, c.Kind == zoid.CutCircle)
@@ -469,7 +515,7 @@ func (w *Walker) walkAll(zs []zoid.Zoid, parallel bool, sh *telemetry.Shard, dep
 		w.walk(zs[0], sh, depth)
 	case 2:
 		// Do2 contract: a is spawned, b runs on the calling goroutine.
-		sched.Do2Counted(parallel, counter(sh),
+		sched.Do2Counted(parallel, w.counter(sh),
 			w.task(zs[0], parallel, sh, depth),
 			func() { w.walk(zs[1], sh, depth) })
 	default:
@@ -483,7 +529,7 @@ func (w *Walker) walkAll(zs []zoid.Zoid, parallel bool, sh *telemetry.Shard, dep
 				fns[i] = w.task(zz, parallel, sh, depth)
 			}
 		}
-		sched.DoAllCounted(parallel, counter(sh), fns)
+		sched.DoAllCounted(parallel, w.counter(sh), fns)
 	}
 }
 
@@ -493,6 +539,9 @@ func (w *Walker) walkAll(zs []zoid.Zoid, parallel bool, sh *telemetry.Shard, dep
 // a panicking subwalk still returns its shard (with any open spans closed)
 // before the panic reaches the scheduler's sync point.
 func (w *Walker) task(z zoid.Zoid, parallel bool, sh *telemetry.Shard, depth int) func() {
+	if m := w.Met; m != nil && parallel {
+		m.ForkDepth.Observe(int64(depth))
+	}
 	if sh == nil || !parallel {
 		return func() { w.walk(z, sh, depth) }
 	}
@@ -504,14 +553,49 @@ func (w *Walker) task(z zoid.Zoid, parallel bool, sh *telemetry.Shard, depth int
 	}
 }
 
-// counter adapts a possibly-nil shard to sched.Counter without producing a
-// non-nil interface holding a nil pointer.
-func counter(sh *telemetry.Shard) sched.Counter {
-	if sh == nil {
-		return nil
+// counter adapts the current goroutine's possibly-nil shard, plus the
+// run's metrics observer, to sched.Counter without producing a non-nil
+// interface holding a nil pointer. With only one system armed the cached
+// value is returned directly; only the both-armed case allocates a
+// combining adapter, once per fork-join region.
+func (w *Walker) counter(sh *telemetry.Shard) sched.Counter {
+	if w.metObs == nil {
+		if sh == nil {
+			return nil
+		}
+		return sh
 	}
-	return sh
+	if sh == nil {
+		return w.metObs
+	}
+	return &instr{sh: sh, obs: w.metObs}
 }
+
+// metricsObserver feeds the scheduler's decisions into the metrics
+// instrument set. It implements sched.WorkerObserver, so spawned goroutines
+// also bracket the active-workers gauge; all its updates are atomics, safe
+// from any goroutine.
+type metricsObserver struct{ m *metrics.RunMetrics }
+
+func (o *metricsObserver) Spawned(n int)   { o.m.Spawns.Add(int64(n)) }
+func (o *metricsObserver) Inlined(n int)   { o.m.Inlines.Add(int64(n)) }
+func (o *metricsObserver) WorkerStarted()  { o.m.ActiveWorkers.Inc() }
+func (o *metricsObserver) WorkerFinished() { o.m.ActiveWorkers.Dec() }
+
+// instr combines the goroutine-private telemetry shard with the shared
+// metrics observer when both systems are armed. The shard methods fire only
+// on the calling goroutine (the Counter contract); the worker notifications
+// go to the metrics side alone, since shards must never be touched from a
+// spawned goroutine.
+type instr struct {
+	sh  *telemetry.Shard
+	obs *metricsObserver
+}
+
+func (c *instr) Spawned(n int)   { c.sh.Spawned(n); c.obs.Spawned(n) }
+func (c *instr) Inlined(n int)   { c.sh.Inlined(n); c.obs.Inlined(n) }
+func (c *instr) WorkerStarted()  { c.obs.WorkerStarted() }
+func (c *instr) WorkerFinished() { c.obs.WorkerFinished() }
 
 // base dispatches z to the interior or boundary clone (§4, code cloning).
 // A panic in the clone — a crashing user kernel — is re-raised as a
@@ -535,6 +619,24 @@ func (w *Walker) base(z zoid.Zoid, sh *telemetry.Shard, depth int) {
 		faultpoint.Visit(faultpoint.SiteBase, depth)
 	}
 	interior := w.Interior != nil && w.IsInterior(z)
+	if m := w.Met; m != nil {
+		// One volume computation and a handful of atomic adds per base
+		// case, amortized over the zoid's whole point set.
+		vol := z.Volume()
+		if interior {
+			m.BaseInterior.Inc()
+		} else {
+			m.BaseBoundary.Inc()
+		}
+		m.BasePoints.Add(vol)
+		m.BaseVolume.Observe(vol)
+		if w.engPoints != nil {
+			w.engPoints.Add(vol)
+		}
+	}
+	if p := w.Prog; p != nil {
+		p.Add(z.Volume())
+	}
 	if sh != nil {
 		span := sh.Base(z.Volume(), interior, z.Height())
 		if interior {

@@ -1,0 +1,344 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one # HELP and # TYPE comment per
+// family, then the samples, families sorted by name and members by label
+// string so scrapes are deterministic. Histograms emit the standard
+// cumulative _bucket{le="..."} series plus _sum and _count. The progress
+// set (see progress.go) contributes the gauges of the most recent run.
+//
+// It may be called at any time, including while instrumented runs execute:
+// instrument reads are atomic, so a scrape sees a near-instantaneous view
+// that is exact per cell and monotone across scrapes for counters.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, m := range f.members {
+			d := m.describe()
+			switch mm := m.(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %d\n", d.Name, d.labelString(), mm.Value())
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %s\n", d.Name, d.labelString(), formatFloat(mm.Value()))
+			case *Histogram:
+				writeHistogram(bw, d, mm)
+			}
+		}
+	}
+	r.prog.writePrometheus(bw)
+	return bw.Flush()
+}
+
+// writeHistogram emits the cumulative bucket series of one histogram.
+func writeHistogram(bw *bufio.Writer, d *Desc, h *Histogram) {
+	bounds, counts := h.Buckets()
+	labels := d.labelString()
+	// Merge the le label into any constant labels.
+	open := "{"
+	if labels != "" {
+		open = labels[:len(labels)-1] + ","
+	}
+	var cum int64
+	for i, b := range bounds {
+		cum += counts[i]
+		fmt.Fprintf(bw, "%s_bucket%sle=\"%d\"} %d\n", d.Name, open, b, cum)
+	}
+	cum += counts[len(counts)-1]
+	fmt.Fprintf(bw, "%s_bucket%sle=\"+Inf\"} %d\n", d.Name, open, cum)
+	fmt.Fprintf(bw, "%s_sum%s %d\n", d.Name, labels, h.Sum())
+	fmt.Fprintf(bw, "%s_count%s %d\n", d.Name, labels, cum)
+}
+
+// formatFloat renders a gauge value: integral values print without an
+// exponent so the common case (worker counts) stays readable.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// MetricStatus is one metric's JSON form in the /statusz snapshot.
+type MetricStatus struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Type   string            `json:"type"`
+	// Value is set for counters and gauges.
+	Value *float64 `json:"value,omitempty"`
+	// Count, Sum, and Buckets are set for histograms; Buckets maps the
+	// upper bound (le) to the cumulative count.
+	Count   *int64            `json:"count,omitempty"`
+	Sum     *int64            `json:"sum,omitempty"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// HistogramBucket is one cumulative histogram bucket; Le is the upper bound
+// rendered as a string so "+Inf" survives JSON.
+type HistogramBucket struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// Status is the /statusz JSON snapshot: process vitals, every registered
+// metric, and the progress set.
+type Status struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	GoVersion     string         `json:"go_version"`
+	GOMAXPROCS    int            `json:"gomaxprocs"`
+	NumGoroutine  int            `json:"num_goroutine"`
+	Metrics       []MetricStatus `json:"metrics"`
+	Progress      []ProgressStat `json:"progress,omitempty"`
+}
+
+// Snapshot builds the Status view of the registry.
+func (r *Registry) Snapshot() Status {
+	st := Status{
+		UptimeSeconds: r.Uptime().Seconds(),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumGoroutine:  runtime.NumGoroutine(),
+		Progress:      r.ProgressSnapshot(),
+	}
+	for _, f := range r.snapshotFamilies() {
+		for _, m := range f.members {
+			d := m.describe()
+			ms := MetricStatus{Name: d.Name, Type: f.kind.String()}
+			if len(d.Labels) > 0 {
+				ms.Labels = make(map[string]string, len(d.Labels))
+				for _, l := range d.Labels {
+					ms.Labels[l.Key] = l.Value
+				}
+			}
+			switch mm := m.(type) {
+			case *Counter:
+				v := float64(mm.Value())
+				ms.Value = &v
+			case *Gauge:
+				v := mm.Value()
+				ms.Value = &v
+			case *Histogram:
+				bounds, counts := mm.Buckets()
+				var cum int64
+				for i, b := range bounds {
+					cum += counts[i]
+					ms.Buckets = append(ms.Buckets, HistogramBucket{Le: strconv.FormatInt(b, 10), Count: cum})
+				}
+				cum += counts[len(counts)-1]
+				ms.Buckets = append(ms.Buckets, HistogramBucket{Le: "+Inf", Count: cum})
+				sum := mm.Sum()
+				ms.Count, ms.Sum = &cum, &sum
+			}
+			st.Metrics = append(st.Metrics, ms)
+		}
+	}
+	return st
+}
+
+// WriteStatusz writes the indented JSON snapshot.
+func (r *Registry) WriteStatusz(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// CheckExposition validates Prometheus text-format data line by line: every
+// comment must be a well-formed HELP or TYPE, every sample must have a legal
+// metric name, balanced label syntax, and a parseable value, and every
+// sample's family must have been declared by a preceding TYPE line. It
+// returns the first violation with its line number, or nil. The monitor
+// smoke test and the CI scrape check both run scraped bytes through it.
+func CheckExposition(data []byte) error {
+	typed := make(map[string]Kind)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	samples := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line, typed); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := checkSample(line, typed); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("exposition holds no samples")
+	}
+	return nil
+}
+
+// checkComment validates a # HELP or # TYPE line, recording TYPE
+// declarations in typed.
+func checkComment(line string, typed map[string]Kind) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		if !validName(fields[2]) {
+			return fmt.Errorf("HELP for invalid metric name %q", fields[2])
+		}
+	case "TYPE":
+		if !validName(fields[2]) {
+			return fmt.Errorf("TYPE for invalid metric name %q", fields[2])
+		}
+		if len(fields) < 4 {
+			return fmt.Errorf("TYPE %s missing a type", fields[2])
+		}
+		switch fields[3] {
+		case "counter":
+			typed[fields[2]] = KindCounter
+		case "gauge":
+			typed[fields[2]] = KindGauge
+		case "histogram":
+			typed[fields[2]] = KindHistogram
+		case "summary", "untyped":
+			typed[fields[2]] = KindGauge // legal types this registry never emits
+		default:
+			return fmt.Errorf("TYPE %s has unknown type %q", fields[2], fields[3])
+		}
+	default:
+		return fmt.Errorf("unknown comment directive %q", fields[1])
+	}
+	return nil
+}
+
+// checkSample validates one sample line against the declared families.
+func checkSample(line string, typed map[string]Kind) error {
+	name, rest, err := splitSampleName(line)
+	if err != nil {
+		return err
+	}
+	value := strings.TrimSpace(rest)
+	if value == "" {
+		return fmt.Errorf("sample %q has no value", name)
+	}
+	// Optional trailing timestamp.
+	if i := strings.IndexByte(value, ' '); i >= 0 {
+		ts := strings.TrimSpace(value[i+1:])
+		value = value[:i]
+		if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+			return fmt.Errorf("sample %s has malformed timestamp %q", name, ts)
+		}
+	}
+	if _, err := parseSampleValue(value); err != nil {
+		return fmt.Errorf("sample %s has malformed value %q", name, value)
+	}
+	family := name
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if k, ok := typed[base]; ok && k == KindHistogram {
+				family = base
+			}
+			break
+		}
+	}
+	if _, ok := typed[family]; !ok {
+		return fmt.Errorf("sample %s precedes its TYPE declaration", name)
+	}
+	return nil
+}
+
+// splitSampleName parses the metric name and optional label block off a
+// sample line, returning the remainder (the value, and possibly timestamp).
+func splitSampleName(line string) (name, rest string, err error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name = line[:i]
+	if !validName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	if i < len(line) && line[i] == '{' {
+		j, err := scanLabels(line, i)
+		if err != nil {
+			return "", "", fmt.Errorf("sample %s: %w", name, err)
+		}
+		i = j
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return "", "", fmt.Errorf("sample %s has no value separator", name)
+	}
+	return name, line[i+1:], nil
+}
+
+// scanLabels walks a {k="v",...} block starting at the opening brace,
+// returning the index one past the closing brace.
+func scanLabels(line string, open int) (int, error) {
+	i := open + 1
+	for {
+		if i >= len(line) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if line[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(line) && line[i] != '=' {
+			i++
+		}
+		if i >= len(line) || !validName(line[start:i]) {
+			return 0, fmt.Errorf("invalid label key %q", line[start:min(i, len(line))])
+		}
+		i++ // '='
+		if i >= len(line) || line[i] != '"' {
+			return 0, fmt.Errorf("label value not quoted")
+		}
+		i++
+		for i < len(line) && line[i] != '"' {
+			if line[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(line) {
+			return 0, fmt.Errorf("unterminated label value")
+		}
+		i++ // closing quote
+		if i < len(line) && line[i] == ',' {
+			i++
+		}
+	}
+}
+
+// parseSampleValue parses a sample value, accepting the +Inf/-Inf/NaN
+// spellings the format allows.
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,416 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrentExact is the -race registry concurrency test:
+// GOMAXPROCS goroutines hammer one striped counter and the total must be
+// exact — striping may spread increments anywhere, but no increment may be
+// lost or double-counted.
+func TestCounterConcurrentExact(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_concurrent_total", "concurrency test")
+	g := r.Gauge("test_concurrent_gauge", "concurrency test")
+	h := r.Histogram("test_concurrent_hist", "concurrency test", 16)
+
+	workers := runtime.GOMAXPROCS(0) * 4
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add(2)
+				g.Add(1)
+				h.Observe(seed%1000 + 1)
+			}
+		}(int64(w))
+	}
+	// Concurrent scrapes must be safe while increments run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Errorf("concurrent scrape: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	want := int64(workers * perWorker * 2)
+	if got := c.Value(); got != want {
+		t.Fatalf("counter sum = %d, want %d", got, want)
+	}
+	if got := g.Value(); got != float64(workers*perWorker) {
+		t.Fatalf("gauge sum = %v, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != int64(workers*perWorker) {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	_, counts := h.Buckets()
+	var bucketSum int64
+	for _, n := range counts {
+		bucketSum += n
+	}
+	if bucketSum != h.Count() {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, h.Count())
+	}
+}
+
+func TestGaugeOps(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "g")
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Fatalf("Set: got %v", g.Value())
+	}
+	g.Inc()
+	g.Dec()
+	g.Add(-1.5)
+	if g.Value() != 2 {
+		t.Fatalf("Add: got %v", g.Value())
+	}
+	g.SetMax(1)
+	if g.Value() != 2 {
+		t.Fatalf("SetMax lowered the gauge: %v", g.Value())
+	}
+	g.SetMax(10)
+	if g.Value() != 10 {
+		t.Fatalf("SetMax: got %v", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hist", "h", 4) // bounds 1,2,4,8 then +Inf
+	for _, v := range []int64{0, 1, 2, 3, 4, 8, 9, 100} {
+		h.Observe(v)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 4 || bounds[3] != 8 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// 0,1 -> le=1; 2 -> le=2; 3,4 -> le=4; 8 -> le=8; 9,100 -> +Inf
+	want := []int64{2, 1, 2, 1, 2}
+	for i, n := range want {
+		if counts[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, counts[i], n, counts)
+		}
+	}
+	if h.Sum() != 127 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+}
+
+func TestRegistryIdempotentAndKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_dup_total", "dup")
+	b := r.Counter("test_dup_total", "dup")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	l1 := r.Counter("test_labeled_total", "dup", Label{"k", "v1"})
+	l2 := r.Counter("test_labeled_total", "dup", Label{"k", "v2"})
+	if l1 == l2 {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("test_dup_total", "dup")
+}
+
+// TestPrometheusGolden pins the exposition format: deterministic order,
+// HELP/TYPE comments, cumulative histogram buckets, progress gauges.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("app_events_total", "Events processed.", Label{"kind", "cut"})
+	c.Add(7)
+	g := r.Gauge("app_workers", "Active workers.")
+	g.Set(3)
+	h := r.Histogram("app_sizes", "Size distribution.", 3) // 1,2,4,+Inf
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(100)
+	p := r.StartProgress("golden", 200)
+	p.Add(50)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := strings.Join([]string{
+		`# HELP app_events_total Events processed.`,
+		`# TYPE app_events_total counter`,
+		`app_events_total{kind="cut"} 7`,
+		`# HELP app_sizes Size distribution.`,
+		`# TYPE app_sizes histogram`,
+		`app_sizes_bucket{le="1"} 1`,
+		`app_sizes_bucket{le="2"} 1`,
+		`app_sizes_bucket{le="4"} 2`,
+		`app_sizes_bucket{le="+Inf"} 3`,
+		`app_sizes_sum 104`,
+		`app_sizes_count 3`,
+		`# HELP app_workers Active workers.`,
+		`# TYPE app_workers gauge`,
+		`app_workers 3`,
+	}, "\n") + "\n"
+	if !strings.HasPrefix(got, want) {
+		t.Fatalf("exposition prefix mismatch:\n--- got ---\n%s\n--- want prefix ---\n%s", got, want)
+	}
+	for _, line := range []string{
+		"pochoir_progress_percent 25\n",
+		"pochoir_progress_points_done 50\n",
+		"pochoir_progress_points_total 200\n",
+		"pochoir_progress_active 1\n",
+	} {
+		if !strings.Contains(got, line) {
+			t.Fatalf("exposition missing %q:\n%s", line, got)
+		}
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("golden exposition fails its own validator: %v", err)
+	}
+}
+
+func TestCheckExposition(t *testing.T) {
+	valid := []byte(strings.Join([]string{
+		"# HELP x_total stuff",
+		"# TYPE x_total counter",
+		`x_total{a="b",c="d\"e"} 12`,
+		"# TYPE h histogram",
+		`h_bucket{le="+Inf"} 3`,
+		"h_sum 10",
+		"h_count 3",
+		"# TYPE g gauge",
+		"g -1.5e-3",
+		"g2 NaN",
+		"# TYPE g2 gauge",
+	}, "\n"))
+	// g2 precedes its TYPE — that variant must fail; fix the order first.
+	bad := valid
+	valid = []byte(strings.Replace(string(valid), "g2 NaN\n# TYPE g2 gauge", "# TYPE g2 gauge\ng2 NaN", 1))
+	if err := CheckExposition(valid); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	if err := CheckExposition(bad); err == nil {
+		t.Fatal("sample before TYPE accepted")
+	}
+	cases := map[string]string{
+		"empty":          "",
+		"comments only":  "# TYPE x counter",
+		"bad name":       "# TYPE x counter\n1x 3",
+		"no value":       "# TYPE x counter\nx",
+		"bad value":      "# TYPE x counter\nx forty",
+		"unterminated":   "# TYPE x counter\nx{a=\"b 3",
+		"bad type":       "# TYPE x widget\nx 3",
+		"bad directive":  "# FOO x counter\nx 3",
+		"undeclared":     "y 3",
+		"bad label key":  "# TYPE x counter\nx{1a=\"b\"} 3",
+		"unquoted label": "# TYPE x counter\nx{a=b} 3",
+		"bad timestamp":  "# TYPE x counter\nx 3 soon",
+	}
+	for name, data := range cases {
+		if err := CheckExposition([]byte(data)); err == nil {
+			t.Errorf("%s: accepted %q", name, data)
+		}
+	}
+}
+
+func TestProgress(t *testing.T) {
+	r := NewRegistry()
+	p := r.StartProgress("run", 1000)
+	if p.Percent() != 0 {
+		t.Fatalf("fresh percent = %v", p.Percent())
+	}
+	p.Add(250)
+	if p.Percent() != 25 {
+		t.Fatalf("percent = %v, want 25", p.Percent())
+	}
+	// Redone work overshoots; percent clamps and stays monotone.
+	p.Add(900)
+	if p.Percent() != 100 {
+		t.Fatalf("overshoot percent = %v, want 100", p.Percent())
+	}
+	if p.ETA() != 0 {
+		t.Fatalf("ETA with no work remaining = %v", p.ETA())
+	}
+	p.Finish(true)
+	if !p.Finished() || p.Percent() != 100 || p.Done() < p.Total() {
+		t.Fatalf("after Finish: finished=%v percent=%v done=%d", p.Finished(), p.Percent(), p.Done())
+	}
+	p.Finish(false) // idempotent: first call won
+	st := p.stat()
+	if st.Active || !st.OK {
+		t.Fatalf("stat after ok finish: %+v", st)
+	}
+
+	// A failed run keeps its partial percent.
+	q := r.StartProgress("fail", 1000)
+	q.Add(100)
+	q.Finish(false)
+	if got := q.Percent(); got != 10 {
+		t.Fatalf("failed-run percent = %v, want 10", got)
+	}
+	if st := q.stat(); st.OK || st.Active {
+		t.Fatalf("failed-run stat: %+v", st)
+	}
+
+	// Zero-total runs: 0% until a successful finish, never NaN.
+	z := r.StartProgress("empty", 0)
+	if z.Percent() != 0 {
+		t.Fatalf("zero-total percent = %v", z.Percent())
+	}
+	z.Finish(true)
+	if z.Percent() != 100 {
+		t.Fatalf("zero-total finished percent = %v", z.Percent())
+	}
+
+	snap := r.ProgressSnapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot holds %d runs, want 3", len(snap))
+	}
+	if snap[0].Label != "empty" {
+		t.Fatalf("snapshot not newest-first: %+v", snap)
+	}
+}
+
+func TestProgressETA(t *testing.T) {
+	r := NewRegistry()
+	p := r.StartProgress("eta", 100)
+	p.Add(50)
+	time.Sleep(10 * time.Millisecond)
+	eta := p.ETA()
+	if eta <= 0 {
+		t.Fatalf("ETA = %v, want > 0 at 50%%", eta)
+	}
+	// Half done: the ETA should be on the order of the elapsed time.
+	if el := p.elapsed(); eta > el*10 {
+		t.Fatalf("ETA %v wildly exceeds elapsed %v at 50%%", eta, el)
+	}
+}
+
+func TestProgressHistoryBounded(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < keepFinished*3; i++ {
+		p := r.StartProgress(fmt.Sprintf("run-%d", i), 10)
+		p.Finish(true)
+	}
+	snap := r.ProgressSnapshot()
+	if len(snap) > keepFinished+2 {
+		t.Fatalf("history unbounded: %d entries", len(snap))
+	}
+}
+
+func TestRunAndSupervisorSets(t *testing.T) {
+	r := NewRegistry()
+	m := NewRunMetrics(r)
+	m2 := NewRunMetrics(r)
+	if m.Zoids != m2.Zoids || m.EnginePoints[0] != m2.EnginePoints[0] {
+		t.Fatal("NewRunMetrics is not idempotent")
+	}
+	m.Zoids.Inc()
+	m.EnginePoints[2].Add(5)
+	s := NewSupervisorMetrics(r)
+	s.Retries.Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"pochoir_zoids_total 1",
+		`pochoir_engine_points_total{engine="LOOPS"} 5`,
+		`pochoir_engine_points_total{engine="TRAP"} 0`,
+		"pochoir_sup_retries_total 1",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("instrument-set exposition invalid: %v", err)
+	}
+}
+
+func TestMonitorEndpoints(t *testing.T) {
+	r := NewRegistry()
+	NewRunMetrics(r).Zoids.Add(42)
+	p := r.StartProgress("monitored", 100)
+	p.Add(40)
+
+	m, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	get := func(path string) []byte {
+		resp, err := http.Get(m.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return body
+	}
+
+	metricsBody := get("/metrics")
+	if !strings.Contains(string(metricsBody), "pochoir_zoids_total 42") {
+		t.Fatalf("/metrics missing zoid counter:\n%s", metricsBody)
+	}
+	if err := CheckExposition(metricsBody); err != nil {
+		t.Fatalf("/metrics invalid: %v", err)
+	}
+
+	var status Status
+	if err := json.Unmarshal(get("/statusz"), &status); err != nil {
+		t.Fatalf("/statusz: %v", err)
+	}
+	if status.GoVersion == "" || len(status.Metrics) == 0 {
+		t.Fatalf("/statusz incomplete: %+v", status)
+	}
+
+	var prog struct {
+		Runs []ProgressStat `json:"runs"`
+	}
+	if err := json.Unmarshal(get("/progressz"), &prog); err != nil {
+		t.Fatalf("/progressz: %v", err)
+	}
+	if len(prog.Runs) != 1 || prog.Runs[0].Percent != 40 {
+		t.Fatalf("/progressz = %+v", prog)
+	}
+
+	if !strings.Contains(string(get("/")), "/metrics") {
+		t.Fatal("index page missing endpoint listing")
+	}
+	if !bytes.Contains(get("/debug/vars"), []byte("memstats")) {
+		t.Fatal("/debug/vars missing expvar memstats")
+	}
+	if !bytes.Contains(get("/debug/pprof/"), []byte("goroutine")) {
+		t.Fatal("/debug/pprof/ index missing profiles")
+	}
+}

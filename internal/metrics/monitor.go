@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewHandler builds the monitor's HTTP mux for a registry:
+//
+//	/metrics        Prometheus text exposition (WritePrometheus)
+//	/statusz        JSON snapshot of every metric + process vitals
+//	/progressz      JSON progress of in-flight and recent runs
+//	/debug/pprof/*  the standard runtime profiles
+//	/debug/vars     expvar (runtime memstats and any user vars)
+//	/               a plain-text index of the above
+//
+// The handler holds no state beyond the registry pointer, so it can be
+// mounted on an existing server instead of using Serve.
+func NewHandler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteStatusz(w)
+	})
+	mux.HandleFunc("/progressz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteProgressz(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "pochoir monitor (up %s)\n\n", r.Uptime().Round(time.Second))
+		fmt.Fprintln(w, "/metrics        Prometheus text exposition")
+		fmt.Fprintln(w, "/statusz        JSON metric snapshot")
+		fmt.Fprintln(w, "/progressz      JSON run progress + ETA")
+		fmt.Fprintln(w, "/debug/pprof/   runtime profiles")
+		fmt.Fprintln(w, "/debug/vars     expvar")
+	})
+	return mux
+}
+
+// Monitor is an embedded HTTP server exposing a registry. It owns its
+// listener, so addr may use port 0 and Addr reports the bound port.
+type Monitor struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the monitor on addr ("127.0.0.1:9600", ":0", ...). The
+// server runs on a background goroutine until Close.
+func Serve(addr string, r *Registry) (*Monitor, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: %w", err)
+	}
+	m := &Monitor{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           NewHandler(r),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() { _ = m.srv.Serve(ln) }()
+	return m, nil
+}
+
+// Addr returns the bound listen address.
+func (m *Monitor) Addr() string { return m.ln.Addr().String() }
+
+// URL returns the base http:// URL of the monitor.
+func (m *Monitor) URL() string { return "http://" + m.Addr() }
+
+// Close shuts the server down immediately, closing the listener.
+func (m *Monitor) Close() error { return m.srv.Close() }

@@ -1,0 +1,115 @@
+package metrics
+
+// This file defines the pre-resolved instrument sets the engine layers hold.
+// Resolving a metric means a map lookup under the registry lock, so the
+// walker, scheduler, and supervisor each resolve their whole set once (at
+// arm time / run start) and then touch only the cached pointers on hot
+// paths. A nil set pointer disarms every instrumentation point with a
+// single comparison, mirroring the telemetry recorder's discipline.
+
+// Engine names index RunMetrics.EnginePoints; the values match
+// core.Algorithm (TRAP=0, STRAP=1, LOOPS=2).
+var engineNames = [3]string{"TRAP", "STRAP", "LOOPS"}
+
+// RunMetrics is the walker/scheduler instrument set.
+type RunMetrics struct {
+	// Run lifecycle.
+	RunsStarted *Counter
+	RunsActive  *Gauge
+
+	// Decomposition: every zoid visited, and the cut decisions by kind.
+	Zoids     *Counter
+	TimeCuts  *Counter
+	HyperCuts *Counter
+	SpaceCuts *Counter
+
+	// Base cases: executions by clone, total space-time points, and the
+	// volume distribution.
+	BaseInterior *Counter
+	BaseBoundary *Counter
+	BasePoints   *Counter
+	BaseVolume   *Histogram
+
+	// EnginePoints[core.Algorithm] attributes base-case points to the
+	// engine that executed them.
+	EnginePoints [3]*Counter
+
+	// Scheduler: forks spawned vs inlined, concurrently active workers,
+	// and the fork-depth distribution.
+	Spawns        *Counter
+	Inlines       *Counter
+	ActiveWorkers *Gauge
+	ForkDepth     *Histogram
+
+	// RunStats bridge, set from the telemetry delta at run/segment
+	// boundaries when both systems are armed.
+	LastParallelism *Gauge
+	LastWallSeconds *Gauge
+	LastWorkers     *Gauge
+}
+
+// NewRunMetrics resolves the walker/scheduler instrument set against r.
+// Idempotent: the registry dedupes by name+labels, so every caller gets
+// pointers to the same instruments.
+func NewRunMetrics(r *Registry) *RunMetrics {
+	m := &RunMetrics{
+		RunsStarted: r.Counter("pochoir_runs_started_total", "Run/RunSupervised segment executions started."),
+		RunsActive:  r.Gauge("pochoir_runs_active", "Walker runs currently executing."),
+
+		Zoids:     r.Counter("pochoir_zoids_total", "Zoids visited by the decomposition (cuts and base cases)."),
+		TimeCuts:  r.Counter("pochoir_cuts_total", "Zoid cut decisions by kind.", Label{"kind", "time"}),
+		HyperCuts: r.Counter("pochoir_cuts_total", "Zoid cut decisions by kind.", Label{"kind", "hyperspace"}),
+		SpaceCuts: r.Counter("pochoir_cuts_total", "Zoid cut decisions by kind.", Label{"kind", "space_serial"}),
+
+		BaseInterior: r.Counter("pochoir_base_cases_total", "Base-case kernel invocations by clone.", Label{"clone", "interior"}),
+		BaseBoundary: r.Counter("pochoir_base_cases_total", "Base-case kernel invocations by clone.", Label{"clone", "boundary"}),
+		BasePoints:   r.Counter("pochoir_base_points_total", "Space-time points executed by base cases."),
+		BaseVolume:   r.Histogram("pochoir_base_volume_points", "Base-case zoid volume distribution in points.", 24),
+
+		Spawns:        r.Counter("pochoir_forks_total", "Fork-join forks by placement.", Label{"placement", "spawned"}),
+		Inlines:       r.Counter("pochoir_forks_total", "Fork-join forks by placement.", Label{"placement", "inlined"}),
+		ActiveWorkers: r.Gauge("pochoir_active_workers", "Worker goroutines currently executing spawned zoid tasks."),
+		ForkDepth:     r.Histogram("pochoir_fork_depth", "Recursion depth at which tasks were forked.", 10),
+
+		LastParallelism: r.Gauge("pochoir_last_parallelism", "Achieved parallelism of the last telemetry-armed run segment."),
+		LastWallSeconds: r.Gauge("pochoir_last_wall_seconds", "Wall time of the last telemetry-armed run segment."),
+		LastWorkers:     r.Gauge("pochoir_last_workers", "Distinct workers of the last telemetry-armed run segment."),
+	}
+	for i, name := range engineNames {
+		m.EnginePoints[i] = r.Counter("pochoir_engine_points_total",
+			"Base-case points executed, by engine.", Label{"engine", name})
+	}
+	return m
+}
+
+// SupervisorMetrics is the resilience supervisor's instrument set.
+type SupervisorMetrics struct {
+	SegmentsDone   *Counter
+	SegmentsFailed *Counter
+	Retries        *Counter
+	Degradations   *Counter
+	WatchdogTrips  *Counter
+	VerifyOK       *Counter
+	VerifyMismatch *Counter
+	Checkpoints    *Counter
+	Restores       *Counter
+	GiveUps        *Counter
+	BackoffNS      *Counter
+}
+
+// NewSupervisorMetrics resolves the supervisor instrument set against r.
+func NewSupervisorMetrics(r *Registry) *SupervisorMetrics {
+	return &SupervisorMetrics{
+		SegmentsDone:   r.Counter("pochoir_sup_segments_total", "Supervised segments by outcome.", Label{"outcome", "ok"}),
+		SegmentsFailed: r.Counter("pochoir_sup_segments_total", "Supervised segments by outcome.", Label{"outcome", "failed"}),
+		Retries:        r.Counter("pochoir_sup_retries_total", "Segment attempts retried after a failure."),
+		Degradations:   r.Counter("pochoir_sup_degradations_total", "Degradation-ladder demotions (e.g. TRAP to STRAP)."),
+		WatchdogTrips:  r.Counter("pochoir_sup_watchdog_trips_total", "Segment attempts killed by the watchdog timeout."),
+		VerifyOK:       r.Counter("pochoir_sup_verify_total", "Shadow verifications by outcome.", Label{"outcome", "ok"}),
+		VerifyMismatch: r.Counter("pochoir_sup_verify_total", "Shadow verifications by outcome.", Label{"outcome", "mismatch"}),
+		Checkpoints:    r.Counter("pochoir_sup_checkpoints_total", "Checkpoints taken at segment boundaries."),
+		Restores:       r.Counter("pochoir_sup_restores_total", "Checkpoint restores after failed attempts."),
+		GiveUps:        r.Counter("pochoir_sup_giveups_total", "Supervised runs abandoned after exhausting retries."),
+		BackoffNS:      r.Counter("pochoir_sup_backoff_ns_total", "Nanoseconds spent in retry backoff sleeps."),
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"math/rand"
 	"time"
 
+	"pochoir/internal/metrics"
 	"pochoir/internal/telemetry"
 )
 
@@ -162,6 +163,10 @@ type Policy struct {
 	// Telemetry, when non-nil, receives every supervisor decision as a
 	// typed SupEvent (pochoir defaults it to the run's recorder).
 	Telemetry *telemetry.Recorder
+	// Metrics, when non-nil, also counts every decision in the live
+	// metrics registry (retries, degradations, watchdog trips, verify
+	// outcomes, ...), so a monitor sees a supervised run's health mid-run.
+	Metrics *metrics.Registry
 }
 
 // WithDefaults returns p with every unset knob replaced by its default.

@@ -2,8 +2,10 @@ package resilience
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
+	"pochoir/internal/metrics"
 	"pochoir/internal/telemetry"
 )
 
@@ -50,6 +52,10 @@ func Supervise(ctx context.Context, d Driver, p Policy) (*Report, error) {
 	}
 	rung := 0
 	rep := &Report{Steps: d.Steps, FinalEngine: p.Ladder[0]}
+	var sm *metrics.SupervisorMetrics
+	if p.Metrics != nil {
+		sm = metrics.NewSupervisorMetrics(p.Metrics)
+	}
 	start := p.Clock.Now()
 	emit := func(ev telemetry.SupEvent) {
 		if p.Telemetry != nil {
@@ -59,6 +65,9 @@ func Supervise(ctx context.Context, d Driver, p Policy) (*Report, error) {
 		rep.Events = append(rep.Events, ev)
 	}
 	fail := func(seg SegmentReport, err error) (*Report, error) {
+		if sm != nil {
+			sm.GiveUps.Inc()
+		}
 		rep.Segments = append(rep.Segments, seg)
 		rep.FinalEngine = p.Ladder[rung]
 		rep.Err = err
@@ -81,6 +90,9 @@ func Supervise(ctx context.Context, d Driver, p Policy) (*Report, error) {
 				return fail(seg, fmt.Errorf("resilience: checkpoint before segment %d: %w", seg.Index, err))
 			}
 			rep.Checkpoints++
+			if sm != nil {
+				sm.Checkpoints.Inc()
+			}
 			emit(telemetry.SupEvent{Kind: telemetry.SupCheckpoint, Segment: seg.Index})
 		}
 
@@ -90,6 +102,9 @@ func Supervise(ctx context.Context, d Driver, p Policy) (*Report, error) {
 			rep.Attempts++
 			if attempt > 1 {
 				rep.Retries++
+				if sm != nil {
+					sm.Retries.Inc()
+				}
 			}
 			seg.Attempts = attempt
 			eng := p.Ladder[rung]
@@ -108,12 +123,18 @@ func Supervise(ctx context.Context, d Driver, p Policy) (*Report, error) {
 			if err == nil && p.Verify.Enabled && d.Verify != nil && seg.Index%p.Verify.Every == 0 {
 				if verr := d.Verify(ctx, seg.Index, from, steps); verr != nil {
 					rep.VerifyMismatches++
+					if sm != nil {
+						sm.VerifyMismatch.Inc()
+					}
 					seg.VerifyMismatch = true
 					emit(telemetry.SupEvent{Kind: telemetry.SupVerifyMismatch, Segment: seg.Index,
 						Attempt: attempt, Engine: eng.String(), Err: verr.Error()})
 					err = verr
 				} else {
 					rep.Verified++
+					if sm != nil {
+						sm.VerifyOK.Inc()
+					}
 					seg.Verified = true
 					emit(telemetry.SupEvent{Kind: telemetry.SupVerifyOK, Segment: seg.Index,
 						Attempt: attempt, Engine: eng.String()})
@@ -126,6 +147,14 @@ func Supervise(ctx context.Context, d Driver, p Policy) (*Report, error) {
 			}
 			segErr = err
 			failures++
+			if sm != nil {
+				sm.SegmentsFailed.Inc()
+				// A deadline error with the parent still live means the
+				// per-attempt watchdog fired, not an outside cancellation.
+				if p.SegmentTimeout > 0 && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+					sm.WatchdogTrips.Inc()
+				}
+			}
 			seg.Failures = append(seg.Failures, err.Error())
 			emit(telemetry.SupEvent{Kind: telemetry.SupSegmentFail, Segment: seg.Index,
 				Attempt: attempt, Engine: eng.String(), Err: err.Error()})
@@ -148,17 +177,26 @@ func Supervise(ctx context.Context, d Driver, p Policy) (*Report, error) {
 				break
 			}
 			rep.Restores++
+			if sm != nil {
+				sm.Restores.Inc()
+			}
 			emit(telemetry.SupEvent{Kind: telemetry.SupRestore, Segment: seg.Index, Attempt: attempt})
 
 			if failures%p.DegradeAfter == 0 && rung < len(p.Ladder)-1 {
 				rung++
 				rep.Degradations++
+				if sm != nil {
+					sm.Degradations.Inc()
+				}
 				emit(telemetry.SupEvent{Kind: telemetry.SupDegrade, Segment: seg.Index,
 					Attempt: attempt, Engine: p.Ladder[rung].String()})
 			}
 
 			delay := p.backoffDelay(failures)
 			rep.BackoffTotal += delay
+			if sm != nil {
+				sm.BackoffNS.Add(delay.Nanoseconds())
+			}
 			seg.Backoff += delay
 			emit(telemetry.SupEvent{Kind: telemetry.SupBackoff, Segment: seg.Index,
 				Attempt: attempt, Delay: delay})
@@ -173,6 +211,9 @@ func Supervise(ctx context.Context, d Driver, p Policy) (*Report, error) {
 		rep.FinalEngine = p.Ladder[rung]
 		rep.Segments = append(rep.Segments, seg)
 		rep.StepsDone = from + steps
+		if sm != nil {
+			sm.SegmentsDone.Inc()
+		}
 		emit(telemetry.SupEvent{Kind: telemetry.SupSegmentDone, Segment: seg.Index,
 			Attempt: seg.Attempts, Engine: seg.Engine.String()})
 		from += steps

@@ -84,6 +84,20 @@ type Counter interface {
 	Inlined(n int)
 }
 
+// WorkerObserver extends Counter with notifications bracketing the lifetime
+// of each spawned worker goroutine, detected by type assertion on the
+// Counter passed to Do2Counted/DoAllCounted. Unlike the Counter methods,
+// which fire only on the calling goroutine, WorkerStarted and WorkerFinished
+// fire on the spawned goroutine itself, so implementations must be safe for
+// concurrent use (the metrics active-workers gauge is a single atomic).
+type WorkerObserver interface {
+	Counter
+	// WorkerStarted fires on a spawned goroutine before its task runs.
+	WorkerStarted()
+	// WorkerFinished fires when the spawned task returns, panicking or not.
+	WorkerFinished()
+}
+
 // Do2 runs a and b, in parallel when parallel is true ("spawn a; call b;
 // sync" in Cilk terms), serially otherwise. If a task panics in a parallel
 // region, the sibling still runs to completion and the first panic is
@@ -104,12 +118,17 @@ func Do2Counted(parallel bool, c Counter, a, b func()) {
 		c.Spawned(1)
 		c.Inlined(1)
 	}
+	obs, _ := c.(WorkerObserver)
 	var first panicSlot
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer first.capture()
+		if obs != nil {
+			obs.WorkerStarted()
+			defer obs.WorkerFinished()
+		}
 		a()
 	}()
 	func() {
@@ -144,6 +163,7 @@ func DoAllCounted(parallel bool, c Counter, fns []func()) {
 		c.Spawned(n - 1)
 		c.Inlined(1)
 	}
+	obs, _ := c.(WorkerObserver)
 	var first panicSlot
 	var wg sync.WaitGroup
 	wg.Add(n - 1)
@@ -152,6 +172,10 @@ func DoAllCounted(parallel bool, c Counter, fns []func()) {
 		go func() {
 			defer wg.Done()
 			defer first.capture()
+			if obs != nil {
+				obs.WorkerStarted()
+				defer obs.WorkerFinished()
+			}
 			f()
 		}()
 	}

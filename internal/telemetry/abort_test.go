@@ -12,8 +12,8 @@ func TestReleaseClosesOpenSpans(t *testing.T) {
 	r := New()
 	r.RunStarted()
 	s := r.Acquire()
-	s.HyperCut(2, 9, 3)  // never ended
-	s.TimeCut(8)         // never ended
+	s.HyperCut(2, 9, 3) // never ended
+	s.TimeCut(8)        // never ended
 	b := s.Base(50, true, 2)
 	s.End(b)             // balanced pair
 	s.Base(40, false, 2) // aborted base, never ended

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 	"time"
 )
@@ -85,6 +86,49 @@ func (st Stats) AchievedParallelism() float64 {
 	return float64(st.BusyTotal()) / float64(st.Wall)
 }
 
+// BaseVolumePercentile returns an estimate of the q-th percentile
+// (q in [0,1]) of the base-case zoid volume, computed from the log2
+// histogram: the bucket holding the q-th ranked base case contributes its
+// geometric-midpoint volume, 1.5*2^b. With zero recorded base cases it
+// returns 0 rather than dividing by the empty total.
+func (st Stats) BaseVolumePercentile(q float64) float64 {
+	var total int64
+	for _, n := range st.BaseVolumeHist {
+		total += n
+	}
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest-rank percentile: the ceil(q*total)-th ranked sample.
+	rank := int64(math.Ceil(q*float64(total))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	var cum int64
+	for b, n := range st.BaseVolumeHist {
+		cum += n
+		if n > 0 && cum > rank {
+			return math.Ldexp(1.5, b)
+		}
+	}
+	return math.Ldexp(1.5, len(st.BaseVolumeHist)-1)
+}
+
+// AvgBaseVolume returns the mean base-case volume in points, 0 with no
+// recorded base cases.
+func (st Stats) AvgBaseVolume() float64 {
+	if st.Bases <= 0 {
+		return 0
+	}
+	return float64(st.BasePoints) / float64(st.Bases)
+}
+
 // Delta returns the difference st - prev, the activity between two
 // snapshots of the same recorder (e.g. one Stencil.Run).
 func (st Stats) Delta(prev Stats) Stats {
@@ -159,6 +203,9 @@ func (st Stats) WriteReport(w io.Writer) {
 			}
 			fmt.Fprintf(w, "  [2^%-2d, 2^%-2d): %8d %s\n", b, b+1, n, bar)
 		}
+		fmt.Fprintf(w, "base-case volume: avg %.0f, p50 ~%.0f, p90 ~%.0f, p99 ~%.0f points\n",
+			st.AvgBaseVolume(), st.BaseVolumePercentile(0.50),
+			st.BaseVolumePercentile(0.90), st.BaseVolumePercentile(0.99))
 	}
 	fmt.Fprintf(w, "scheduler: %d goroutines spawned, %d tasks inlined\n", st.Spawns, st.Inlines)
 	if len(st.WorkerBusy) > 0 {

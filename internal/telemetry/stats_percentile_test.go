@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestBaseVolumePercentileZeroGuard pins the zero-sample guard: percentile
+// and average queries on an empty Stats return 0 instead of dividing by the
+// empty total.
+func TestBaseVolumePercentileZeroGuard(t *testing.T) {
+	var st Stats
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := st.BaseVolumePercentile(q); got != 0 {
+			t.Fatalf("empty stats percentile(%v) = %v, want 0", q, got)
+		}
+	}
+	if got := st.AvgBaseVolume(); got != 0 {
+		t.Fatalf("empty stats avg volume = %v, want 0", got)
+	}
+	// An empty report must also render without a division panic or NaN.
+	if rep := st.Report(); strings.Contains(rep, "NaN") {
+		t.Fatalf("empty report contains NaN:\n%s", rep)
+	}
+}
+
+func TestBaseVolumePercentile(t *testing.T) {
+	r := New()
+	s := r.Acquire()
+	// 9 bases of volume 64 (bucket 6) and 1 of volume 1024 (bucket 10).
+	for i := 0; i < 9; i++ {
+		s.End(s.Base(64, true, 1))
+	}
+	s.End(s.Base(1024, true, 1))
+	r.Release(s)
+	st := r.Snapshot()
+
+	if p50 := st.BaseVolumePercentile(0.50); p50 != 1.5*64 {
+		t.Fatalf("p50 = %v, want %v", p50, 1.5*64)
+	}
+	if p99 := st.BaseVolumePercentile(0.99); p99 != 1.5*1024 {
+		t.Fatalf("p99 = %v, want %v", p99, 1.5*1024)
+	}
+	if avg := st.AvgBaseVolume(); avg != (9*64+1024)/10.0 {
+		t.Fatalf("avg = %v, want %v", avg, (9*64+1024)/10.0)
+	}
+	rep := st.Report()
+	if !strings.Contains(rep, "p50") || !strings.Contains(rep, "p99") {
+		t.Fatalf("report missing percentile line:\n%s", rep)
+	}
+}
+
+// TestChromeTraceSupInstantEvents pins the satellite contract: supervisor
+// decisions export as Chrome-trace instant events ("ph":"i") on a dedicated
+// supervisor track, alongside the span tree.
+func TestChromeTraceSupInstantEvents(t *testing.T) {
+	r := New()
+	s := r.Acquire()
+	s.End(s.Base(16, true, 1))
+	r.Release(s)
+	for _, ev := range []SupEvent{
+		{Kind: SupSegmentStart, Segment: 0, Engine: "TRAP"},
+		{Kind: SupSegmentFail, Segment: 0, Attempt: 1, Engine: "TRAP", Err: "kernel panic"},
+		{Kind: SupRestore, Segment: 0, Attempt: 1},
+		{Kind: SupDegrade, Segment: 0, Attempt: 1, Engine: "STRAP"},
+		{Kind: SupSegmentDone, Segment: 0, Attempt: 2, Engine: "STRAP"},
+	} {
+		r.Supervisor(ev)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	instants := map[string]bool{}
+	supTid := -1
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "i" && ev.Cat == "supervisor" {
+			instants[ev.Name] = true
+			if supTid == -1 {
+				supTid = ev.Tid
+			} else if ev.Tid != supTid {
+				t.Fatalf("supervisor instants on multiple tracks: %d and %d", supTid, ev.Tid)
+			}
+		}
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			if name, _ := ev.Args["name"].(string); name == "supervisor" && supTid >= 0 && ev.Tid != supTid {
+				t.Fatalf("supervisor track metadata tid %d != instant tid %d", ev.Tid, supTid)
+			}
+		}
+	}
+	for _, want := range []string{"segment-start", "segment-fail", "restore", "degrade", "segment-done"} {
+		if !instants[want] {
+			t.Fatalf("trace missing supervisor instant %q; got %v\n%s", want, instants, buf.String())
+		}
+	}
+}

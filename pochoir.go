@@ -47,6 +47,7 @@ import (
 
 	"pochoir/internal/core"
 	"pochoir/internal/grid"
+	"pochoir/internal/metrics"
 	"pochoir/internal/sched"
 	"pochoir/internal/shape"
 	"pochoir/internal/telemetry"
@@ -139,6 +140,14 @@ type Stencil[T any] struct {
 	opts      Options
 	stepsRun  int
 	lastStats *RunStats
+	// metSet is the walker instrument set resolved against metReg; both
+	// are managed by runMetrics (see monitor.go). activeProg, when
+	// non-nil, is a run-spanning progress estimator (set by RunSupervised
+	// around its segments) that per-segment runs feed instead of starting
+	// their own.
+	metReg     *MetricsRegistry
+	metSet     *metrics.RunMetrics
+	activeProg *metrics.Progress
 	// poisoned latches after a failed or cancelled run: the arrays hold a
 	// partially updated state, so further runs are refused with
 	// ErrPoisoned until Reset or Restore re-establishes consistency.
@@ -172,6 +181,12 @@ type Options struct {
 	// into the recorder (see Recorder). Nil — the default — keeps the
 	// engine entirely uninstrumented: the only cost is one pointer check.
 	Telemetry *Recorder
+	// Metrics, when non-nil, arms the live metrics registry: zoid, cut,
+	// and base-case counters, point throughput, worker activity, and a
+	// run-progress estimator, all scrapeable mid-run through ServeMonitor.
+	// Nil — the default — costs one pointer check per instrumentation
+	// point, like Telemetry.
+	Metrics *MetricsRegistry
 }
 
 // New creates a stencil object for the given shape.
@@ -442,6 +457,20 @@ func (s *Stencil[T]) runWalker(ctx context.Context, w *core.Walker, steps int) e
 	depth := s.shape.Depth()
 	t0 := depth + s.stepsRun
 	t1 := t0 + steps
+
+	// Arm the metrics instruments and the progress estimator. A supervised
+	// run spans many walker invocations, so RunSupervised pre-installs a
+	// run-wide estimator in activeProg; a plain Run owns its own, finished
+	// (success raises done to the predicted total) when the walk returns.
+	met := s.runMetrics()
+	w.Met = met
+	prog := s.activeProg
+	ownProg := met != nil && prog == nil
+	if ownProg {
+		prog = s.opts.Metrics.StartProgress("run", int64(steps)*s.gridVolume())
+	}
+	w.Prog = prog
+
 	var pre RunStats
 	if s.opts.Telemetry != nil {
 		pre = s.opts.Telemetry.Snapshot()
@@ -450,6 +479,17 @@ func (s *Stencil[T]) runWalker(ctx context.Context, w *core.Walker, steps int) e
 	if s.opts.Telemetry != nil {
 		st := s.opts.Telemetry.Snapshot().Delta(pre)
 		s.lastStats = &st
+		if met != nil {
+			// Bridge the aggregate run stats — only computable from the
+			// quiescent telemetry shards — into scrapeable gauges at the
+			// run/segment boundary.
+			met.LastParallelism.Set(st.AchievedParallelism())
+			met.LastWallSeconds.Set(st.Wall.Seconds())
+			met.LastWorkers.Set(float64(st.Workers))
+		}
+	}
+	if ownProg {
+		prog.Finish(err == nil)
 	}
 	if err != nil {
 		s.poisoned = true

@@ -67,7 +67,7 @@ const (
 // as after Run. On failure the error is also recorded in the report and the
 // stencil is left poisoned at the failed segment's start (restored state),
 // except with p.NoCheckpoint where the torn state stays.
-func (s *Stencil[T]) RunSupervised(ctx context.Context, steps int, kern Kernel, p SupervisePolicy) (*RunReport, error) {
+func (s *Stencil[T]) RunSupervised(ctx context.Context, steps int, kern Kernel, p SupervisePolicy) (rep *RunReport, err error) {
 	if steps < 0 {
 		return nil, fmt.Errorf("pochoir: negative step count %d", steps)
 	}
@@ -76,6 +76,22 @@ func (s *Stencil[T]) RunSupervised(ctx context.Context, steps int, kern Kernel, 
 	}
 	if p.Telemetry == nil {
 		p.Telemetry = s.opts.Telemetry
+	}
+	if p.Metrics == nil {
+		p.Metrics = s.opts.Metrics
+	}
+	if reg := s.opts.Metrics; reg != nil {
+		// One progress estimator spans the whole supervised run: segments
+		// feed it through runWalker, retries of a restored segment re-add
+		// their points (the counter is cumulative, so the published percent
+		// stays monotone), and shadow verification bypasses the walker
+		// entirely so verification work never inflates it.
+		prog := reg.StartProgress("supervised", int64(steps)*s.gridVolume())
+		s.activeProg = prog
+		defer func() {
+			s.activeProg = nil
+			prog.Finish(err == nil)
+		}()
 	}
 	// Resolve the policy defaults here, not just inside Supervise: the verify
 	// closure below reads the effective BoxSide/Every/Tolerance and Rand.
