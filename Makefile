@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench verify fuzz-smoke soak monitor-smoke
+.PHONY: build vet test race bench verify fuzz-smoke soak monitor-smoke bench-lab
 
 build:
 	$(GO) build ./...
@@ -53,5 +53,15 @@ bench:
 # experiment exits nonzero on any violation.
 monitor-smoke:
 	$(GO) run ./cmd/experiments -run monitor -quick
+
+# bench-lab runs the performance observatory: the paper suite across the
+# TRAP/STRAP/LOOPS engines with wall clock, telemetry, work/span, and
+# cache-sim signals fused into BENCH_pochoir.json, then gates the report
+# against the committed baseline in warn-only mode (shared CI runners are
+# too noisy for a hard gate; the thresholds only hard-fail locally via
+# `benchlab diff`/`benchlab check` without -informational).
+bench-lab:
+	$(GO) run ./cmd/benchlab run -profile quick -out BENCH_pochoir.json
+	$(GO) run ./cmd/benchlab check -informational -baseline BENCH_baseline.json BENCH_pochoir.json
 
 verify: build vet test race

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"pochoir"
+	"pochoir/internal/benchdef"
 	"pochoir/internal/cachesim"
 	"pochoir/internal/cilkview"
 	"pochoir/internal/core"
@@ -36,33 +37,20 @@ func benchJob(b *testing.B, mk func() stencils.Job, updatesPerRun float64) {
 	b.ReportMetric(updatesPerRun*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpts/s")
 }
 
-// benchWorkloads are the per-benchmark sizes used by the Fig. 3 benches.
-var benchWorkloads = map[string]struct {
-	sizes []int
-	steps int
-}{
-	"Heat 2":      {[]int{512, 512}, 32},
-	"Heat 2p":     {[]int{512, 512}, 32},
-	"Heat 4":      {[]int{16, 16, 16, 16}, 8},
-	"Life 2p":     {[]int{512, 512}, 32},
-	"Wave 3":      {[]int{64, 64, 64}, 16},
-	"LBM 3":       {[]int{24, 24, 28}, 12},
-	"RNA 2":       {[]int{96, 96}, 96},
-	"PSA 1":       {[]int{4001}, 8200},
-	"LCS 1":       {[]int{4001}, 8200},
-	"APOP":        {[]int{100000}, 200},
-	"3D 7-point":  {[]int{64, 64, 64}, 16},
-	"3D 27-point": {[]int{64, 64, 64}, 16},
-}
-
+// benchInstance builds instances of a benchmark at its shared bench-profile
+// workload (internal/benchdef, the same table cmd/benchlab's full profile
+// uses).
 func benchInstance(b *testing.B, name string) func() stencils.Instance {
 	b.Helper()
 	f, ok := stencils.Lookup(name)
 	if !ok {
 		b.Fatalf("unknown benchmark %q", name)
 	}
-	w := benchWorkloads[name]
-	return func() stencils.Instance { return f.New(w.sizes, w.steps) }
+	w, ok := benchdef.Bench(name)
+	if !ok {
+		b.Fatalf("no bench workload defined for %q", name)
+	}
+	return func() stencils.Instance { return f.New(w.Sizes, w.Steps) }
 }
 
 func updates(inst stencils.Instance) float64 {
@@ -88,8 +76,8 @@ func BenchmarkIntroHeat(b *testing.B) {
 // counters (base cases, zoids, spawns per run) as custom metrics.
 func BenchmarkHeat2D(b *testing.B) {
 	f := stencils.NewHeat2DFactory(true)
-	sizes, steps := []int{512, 512}, 32
-	up := float64(sizes[0]*sizes[1]) * float64(steps)
+	sizes, steps := benchdef.AblationHeat2D.Sizes, benchdef.AblationHeat2D.Steps
+	up := float64(benchdef.AblationHeat2D.Updates())
 	b.Run("NoTelemetry", func(b *testing.B) {
 		benchJob(b, func() stencils.Job {
 			return f.New(sizes, steps).Pochoir(pochoir.Options{})
@@ -115,8 +103,8 @@ func BenchmarkHeat2D(b *testing.B) {
 // base case, and scheduler decision, plus the progress estimator).
 func BenchmarkHeat2DMonitored(b *testing.B) {
 	f := stencils.NewHeat2DFactory(true)
-	sizes, steps := []int{512, 512}, 32
-	up := float64(sizes[0]*sizes[1]) * float64(steps)
+	sizes, steps := benchdef.AblationHeat2D.Sizes, benchdef.AblationHeat2D.Steps
+	up := float64(benchdef.AblationHeat2D.Updates())
 	reg := pochoir.NewMetrics()
 	mon, err := pochoir.ServeMonitor("127.0.0.1:0", reg)
 	if err != nil {
@@ -226,27 +214,18 @@ func BenchmarkFig5(b *testing.B) {
 // STRAP (the analyzer itself is what is being timed; its Parallelism
 // output is reported as a metric).
 func BenchmarkFig9(b *testing.B) {
-	cases := []struct {
-		name  string
-		dims  int
-		n     int
-		steps int
-		alg   core.Algorithm
-	}{
-		{"2DHeat/TRAP", 2, 800, 1000, core.TRAP},
-		{"2DHeat/STRAP", 2, 800, 1000, core.STRAP},
-		{"3DWave/TRAP", 3, 200, 1000, core.TRAP},
-		{"3DWave/STRAP", 3, 200, 1000, core.STRAP},
-	}
-	for _, c := range cases {
-		b.Run(c.name, func(b *testing.B) {
-			var par float64
-			for i := 0; i < b.N; i++ {
-				a := cilkview.New(cilkview.Config(c.dims, c.n, 1, false, c.alg), cilkview.DefaultCosts())
-				par = a.Analyze(1, 1+c.steps).Parallelism()
-			}
-			b.ReportMetric(par, "parallelism")
-		})
+	for _, c := range benchdef.Fig9Bench {
+		for _, alg := range []core.Algorithm{core.TRAP, core.STRAP} {
+			c, alg := c, alg
+			b.Run(c.Name+"/"+alg.String(), func(b *testing.B) {
+				var par float64
+				for i := 0; i < b.N; i++ {
+					a := cilkview.New(cilkview.Config(c.Dims, c.N, 1, false, alg), cilkview.DefaultCosts())
+					par = a.Analyze(1, 1+c.Steps).Parallelism()
+				}
+				b.ReportMetric(par, "parallelism")
+			})
+		}
 	}
 }
 
@@ -256,7 +235,8 @@ func BenchmarkFig10(b *testing.B) {
 	heat := shape.MustNew(2, [][]int{
 		{1, 0, 0}, {0, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, -1}, {0, 0, 1},
 	})
-	const n, steps, m, bl = 128, 32, 4096, 8
+	const n, steps = 128, 32
+	const m, bl = benchdef.Fig10CacheM, benchdef.Fig10CacheB
 	b.Run("TRAP", func(b *testing.B) {
 		var ratio float64
 		for i := 0; i < b.N; i++ {
@@ -302,7 +282,8 @@ type fig13Instance interface {
 // BenchmarkFig13 regenerates Fig. 13: the two loop-indexing styles.
 func BenchmarkFig13(b *testing.B) {
 	f := stencils.NewHeat2DFactory(true)
-	mk := func() fig13Instance { return f.New([]int{512, 512}, 32).(fig13Instance) }
+	w := benchdef.AblationHeat2D
+	mk := func() fig13Instance { return f.New(w.Sizes, w.Steps).(fig13Instance) }
 	up := updates(mk())
 	b.Run("SplitPointer", func(b *testing.B) {
 		benchJob(b, func() stencils.Job { return mk().Pochoir(pochoir.Options{}) }, up)
@@ -321,7 +302,8 @@ type modInstance interface {
 // BenchmarkModuloIndexing regenerates the §4 modular-indexing ablation.
 func BenchmarkModuloIndexing(b *testing.B) {
 	f := stencils.NewHeat2DFactory(true)
-	mk := func() modInstance { return f.New([]int{512, 512}, 32).(modInstance) }
+	w := benchdef.AblationHeat2D
+	mk := func() modInstance { return f.New(w.Sizes, w.Steps).(modInstance) }
 	up := updates(mk())
 	b.Run("CodeCloning", func(b *testing.B) {
 		benchJob(b, func() stencils.Job { return mk().Pochoir(pochoir.Options{}) }, up)
@@ -334,19 +316,13 @@ func BenchmarkModuloIndexing(b *testing.B) {
 // BenchmarkCoarsening regenerates the §4 base-case-coarsening ablation.
 func BenchmarkCoarsening(b *testing.B) {
 	f := stencils.NewHeat2DFactory(true)
-	up := float64(256*256) * 16
-	cases := []struct {
-		name string
-		opts pochoir.Options
-	}{
-		{"Pointwise", pochoir.Options{TimeCutoff: 1, SpaceCutoff: []int{1, 1}, Grain: 1 << 10}},
-		{"Small8x8", pochoir.Options{TimeCutoff: 2, SpaceCutoff: []int{8, 8}}},
-		{"PaperHeuristic", pochoir.Options{}},
-	}
-	for _, c := range cases {
-		b.Run(c.name, func(b *testing.B) {
+	w := benchdef.AblationHeat2DSmall
+	up := float64(w.Updates())
+	for _, c := range benchdef.CoarseningAblation {
+		opts := pochoir.Options{TimeCutoff: c.TimeCutoff, SpaceCutoff: c.SpaceCutoff, Grain: c.Grain}
+		b.Run(c.Name, func(b *testing.B) {
 			benchJob(b, func() stencils.Job {
-				return f.New([]int{256, 256}, 16).Pochoir(c.opts)
+				return f.New(w.Sizes, w.Steps).Pochoir(opts)
 			}, up)
 		})
 	}
@@ -357,15 +333,16 @@ func BenchmarkCoarsening(b *testing.B) {
 // design choice Fig. 9 analyzes — on a real kernel.
 func BenchmarkAblationHyperspaceVsSpaceCuts(b *testing.B) {
 	f := stencils.NewHeat2DFactory(true)
-	up := float64(512*512) * 32
+	w := benchdef.AblationHeat2D
+	up := float64(w.Updates())
 	b.Run("TRAP", func(b *testing.B) {
 		benchJob(b, func() stencils.Job {
-			return f.New([]int{512, 512}, 32).Pochoir(pochoir.Options{})
+			return f.New(w.Sizes, w.Steps).Pochoir(pochoir.Options{})
 		}, up)
 	})
 	b.Run("STRAP", func(b *testing.B) {
 		benchJob(b, func() stencils.Job {
-			return f.New([]int{512, 512}, 32).Pochoir(pochoir.Options{Algorithm: core.STRAP})
+			return f.New(w.Sizes, w.Steps).Pochoir(pochoir.Options{Algorithm: core.STRAP})
 		}, up)
 	})
 }
@@ -375,15 +352,16 @@ func BenchmarkAblationHyperspaceVsSpaceCuts(b *testing.B) {
 // comfortable debugging mode.
 func BenchmarkPhase1VsPhase2(b *testing.B) {
 	f := stencils.NewHeat2DFactory(true)
-	up := float64(256*256) * 16
+	w := benchdef.AblationHeat2DSmall
+	up := float64(w.Updates())
 	b.Run("Phase1Generic", func(b *testing.B) {
 		benchJob(b, func() stencils.Job {
-			return f.New([]int{256, 256}, 16).PochoirGeneric(pochoir.Options{})
+			return f.New(w.Sizes, w.Steps).PochoirGeneric(pochoir.Options{})
 		}, up)
 	})
 	b.Run("Phase2Specialized", func(b *testing.B) {
 		benchJob(b, func() stencils.Job {
-			return f.New([]int{256, 256}, 16).Pochoir(pochoir.Options{})
+			return f.New(w.Sizes, w.Steps).Pochoir(pochoir.Options{})
 		}, up)
 	})
 }

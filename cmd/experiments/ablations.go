@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pochoir"
+	"pochoir/internal/benchdef"
 	"pochoir/internal/stencils"
 	"pochoir/internal/tune"
 )
@@ -79,24 +80,17 @@ func runCoarsen() {
 	if *quick {
 		sizes, steps = []int{200, 200}, 20
 	}
-	configs := []struct {
-		name string
-		opts pochoir.Options
-	}{
-		{"pointwise (1x1, dt 1)", pochoir.Options{TimeCutoff: 1, SpaceCutoff: []int{1, 1}, Grain: 1 << 10}},
-		{"small (8x8, dt 2)", pochoir.Options{TimeCutoff: 2, SpaceCutoff: []int{8, 8}}},
-		{"paper heuristic (100x100, dt 5)", pochoir.Options{}},
-	}
 	var base time.Duration
-	for i, c := range configs {
-		d := timeJob(f.New(sizes, steps).Pochoir(c.opts))
+	for i, c := range benchdef.CoarseningAblation {
+		opts := pochoir.Options{TimeCutoff: c.TimeCutoff, SpaceCutoff: c.SpaceCutoff, Grain: c.Grain}
+		d := timeJob(f.New(sizes, steps).Pochoir(opts))
 		if i == 0 {
 			base = d
-			fmt.Printf("%-34s %10s\n", c.name, seconds(d))
+			fmt.Printf("%-34s %10s\n", c.Name, seconds(d))
 			continue
 		}
 		fmt.Printf("%-34s %10s   %6.1fx faster than pointwise\n",
-			c.name, seconds(d), base.Seconds()/d.Seconds())
+			c.Name, seconds(d), base.Seconds()/d.Seconds())
 	}
 	fmt.Println("(paper: proper coarsening is 36x faster than pointwise recursion)")
 	footer()

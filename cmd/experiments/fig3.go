@@ -4,32 +4,16 @@ import (
 	"fmt"
 
 	"pochoir"
+	"pochoir/internal/benchdef"
 	"pochoir/internal/stencils"
 )
 
-// quickWorkloads are the smoke-test workloads per benchmark.
-var quickWorkloads = map[string]struct {
-	sizes []int
-	steps int
-}{
-	"Heat 2":      {[]int{300, 300}, 30},
-	"Heat 2p":     {[]int{300, 300}, 30},
-	"Heat 4":      {[]int{16, 16, 16, 16}, 8},
-	"Life 2p":     {[]int{300, 300}, 30},
-	"Wave 3":      {[]int{48, 48, 48}, 12},
-	"LBM 3":       {[]int{16, 16, 20}, 16},
-	"RNA 2":       {[]int{64, 64}, 128},
-	"PSA 1":       {[]int{2001}, 4200},
-	"LCS 1":       {[]int{2001}, 4200},
-	"APOP":        {[]int{40000}, 300},
-	"3D 7-point":  {[]int{48, 48, 48}, 16},
-	"3D 27-point": {[]int{48, 48, 48}, 16},
-}
-
 func instance(f stencils.Factory) stencils.Instance {
 	if *quick {
-		w := quickWorkloads[f.Name]
-		return f.New(w.sizes, w.steps)
+		// The shared smoke-test workload table (internal/benchdef).
+		if w, ok := benchdef.Quick(f.Name); ok {
+			return f.New(w.Sizes, w.Steps)
+		}
 	}
 	return f.New(nil, 0) // scaled-down defaults
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 
+	"pochoir/internal/benchdef"
 	"pochoir/internal/cachesim"
 	"pochoir/internal/cilkview"
 	"pochoir/internal/core"
@@ -16,28 +17,28 @@ import (
 // space-time 1000*N^3.
 func runFig9() {
 	header("Fig. 9(a): parallelism, 2D heat (space-time 1000*N^2, uncoarsened)")
-	ns := []int{100, 200, 400, 800, 1600, 3200, 6400}
+	ns := benchdef.Fig9Sweep2D
 	if *quick {
-		ns = []int{100, 200, 400, 800}
+		ns = benchdef.Fig9Sweep2DQuick
 	}
 	fmt.Printf("%8s %18s %18s %8s\n", "N", "Hyperspace (TRAP)", "Space cut (STRAP)", "ratio")
 	for _, n := range ns {
-		pt := analyze(2, n, 1000, core.TRAP)
-		ps := analyze(2, n, 1000, core.STRAP)
+		pt := analyze(2, n, benchdef.Fig9Steps, core.TRAP)
+		ps := analyze(2, n, benchdef.Fig9Steps, core.STRAP)
 		fmt.Printf("%8d %18.1f %18.1f %7.2fx\n", n, pt, ps, pt/ps)
 	}
 	fmt.Println("(paper at N=6400: TRAP 1887 vs STRAP 52)")
 	footer()
 
 	header("Fig. 9(b): parallelism, 3D wave (space-time 1000*N^3, uncoarsened)")
-	ns = []int{100, 200, 400, 800}
+	ns = benchdef.Fig9Sweep3D
 	if *quick {
-		ns = []int{100, 200}
+		ns = benchdef.Fig9Sweep3DQuick
 	}
 	fmt.Printf("%8s %18s %18s %8s\n", "N", "Hyperspace (TRAP)", "Space cut (STRAP)", "ratio")
 	for _, n := range ns {
-		pt := analyze(3, n, 1000, core.TRAP)
-		ps := analyze(3, n, 1000, core.STRAP)
+		pt := analyze(3, n, benchdef.Fig9Steps, core.TRAP)
+		ps := analyze(3, n, benchdef.Fig9Steps, core.STRAP)
 		fmt.Printf("%8d %18.1f %18.1f %7.2fx\n", n, pt, ps, pt/ps)
 	}
 	fmt.Println("(paper at N=800: TRAP 337 vs STRAP 23)")
@@ -58,7 +59,7 @@ func analyze(dims, n, steps int, alg core.Algorithm) float64 {
 // content is the same: LOOPS misses at a high flat rate once N^2 >> M,
 // while the two trapezoidal orders coincide at a far lower rate.
 func runFig10() {
-	const mPoints, bPoints = 4096, 8
+	const mPoints, bPoints = benchdef.Fig10CacheM, benchdef.Fig10CacheB
 	heat := shape.MustNew(2, [][]int{
 		{1, 0, 0}, {0, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, -1}, {0, 0, 1},
 	})
@@ -83,7 +84,7 @@ func runFig10() {
 	// points per tile side the cache-oblivious advantage drowns in line
 	// fragmentation. M=32768 points (a 256 KB cache of doubles) gives
 	// tile side 32, still far below the grids swept.
-	const mPoints3 = 32768
+	const mPoints3 = benchdef.Fig10CacheM3D
 	header("Fig. 10(b): cache-miss ratio, 3D wave (ideal cache M=32768, B=8)")
 	wave := shape.MustNew(3, [][]int{
 		{1, 0, 0, 0}, {0, 0, 0, 0}, {-1, 0, 0, 0},

@@ -1,0 +1,41 @@
+package benchdef
+
+import "testing"
+
+// TestProfilesAgree checks that every benchmark appears in both profiles
+// with positive extents, matching dimensionality, and that the quick
+// workload is never larger than the bench workload.
+func TestProfilesAgree(t *testing.T) {
+	if len(bench) != len(quick) {
+		t.Fatalf("bench has %d entries, quick has %d", len(bench), len(quick))
+	}
+	for name, b := range bench {
+		q, ok := quick[name]
+		if !ok {
+			t.Fatalf("%q missing from quick profile", name)
+		}
+		if len(b.Sizes) != len(q.Sizes) {
+			t.Fatalf("%q: bench is %d-dimensional, quick is %d-dimensional",
+				name, len(b.Sizes), len(q.Sizes))
+		}
+		if b.Steps <= 0 || q.Steps <= 0 {
+			t.Fatalf("%q: nonpositive steps", name)
+		}
+		for i := range b.Sizes {
+			if b.Sizes[i] <= 0 || q.Sizes[i] <= 0 {
+				t.Fatalf("%q: nonpositive size in dim %d", name, i)
+			}
+		}
+		if q.Updates() > b.Updates() {
+			t.Errorf("%q: quick workload (%d updates) exceeds bench workload (%d)",
+				name, q.Updates(), b.Updates())
+		}
+	}
+}
+
+func TestUpdates(t *testing.T) {
+	w := Workload{Sizes: []int{10, 20}, Steps: 3}
+	if got := w.Updates(); got != 600 {
+		t.Fatalf("Updates() = %d, want 600", got)
+	}
+}

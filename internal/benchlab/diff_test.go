@@ -1,0 +1,142 @@
+package benchlab
+
+import (
+	"strings"
+	"testing"
+)
+
+// report builds a synthetic report from key -> (median, mad) seconds.
+func report(runs map[string][2]float64) *Report {
+	rep := &Report{Schema: Schema, Version: Version, Profile: "quick"}
+	for key, v := range runs {
+		parts := strings.SplitN(key, "/", 2)
+		rep.Runs = append(rep.Runs, Run{
+			Benchmark: parts[0],
+			Engine:    parts[1],
+			Wall:      WallStats{Reps: 5, MedianSeconds: v[0], MADSeconds: v[1]},
+		})
+	}
+	return rep
+}
+
+// TestDiffFlagsSlowdown: a synthetic 2x slowdown on one configuration is
+// flagged as a regression; the untouched configurations stay quiet.
+func TestDiffFlagsSlowdown(t *testing.T) {
+	old := report(map[string][2]float64{
+		"Heat 2/TRAP":  {0.100, 0.002},
+		"Heat 2/STRAP": {0.120, 0.002},
+		"Wave 3/TRAP":  {0.300, 0.004},
+	})
+	cur := report(map[string][2]float64{
+		"Heat 2/TRAP":  {0.200, 0.002}, // 2x slower
+		"Heat 2/STRAP": {0.120, 0.002},
+		"Wave 3/TRAP":  {0.300, 0.004},
+	})
+	deltas := Compare(old, cur, DefaultGate())
+	regs := Regressions(deltas)
+	if len(regs) != 1 {
+		t.Fatalf("want exactly the 2x slowdown flagged, got %+v", regs)
+	}
+	if regs[0].Benchmark != "Heat 2" || regs[0].Engine != "TRAP" {
+		t.Fatalf("flagged the wrong configuration: %+v", regs[0])
+	}
+	if regs[0].Rel < 0.9 || regs[0].Rel > 1.1 {
+		t.Fatalf("relative shift %f, want ~1.0", regs[0].Rel)
+	}
+	// Regressions sort first in the rendered comparison.
+	if !deltas[0].Regression {
+		t.Fatalf("regression not sorted first: %+v", deltas[0])
+	}
+}
+
+// TestDiffSilentOnIdentical: comparing a report against itself flags
+// nothing in either direction.
+func TestDiffSilentOnIdentical(t *testing.T) {
+	rep := report(map[string][2]float64{
+		"Heat 2/TRAP":     {0.100, 0.002},
+		"Heat 2/STRAP":    {0.120, 0.003},
+		"Heat 2/LOOPS":    {0.090, 0.001},
+		"Wave 3/TRAP":     {0.300, 0.004},
+		"3D 7-point/TRAP": {0.250, 0.010},
+	})
+	for _, d := range Compare(rep, rep, DefaultGate()) {
+		if d.Regression || d.Improvement || d.Missing != "" {
+			t.Fatalf("identical reports produced a verdict: %+v", d)
+		}
+		if d.Rel != 0 {
+			t.Fatalf("identical reports produced a shift: %+v", d)
+		}
+	}
+}
+
+// TestDiffNoiseGate: shifts within run-to-run jitter stay silent — a +-1
+// MAD wobble, and even a large *relative* shift that is small next to the
+// observed MAD (the microsecond-benchmark case).
+func TestDiffNoiseGate(t *testing.T) {
+	old := report(map[string][2]float64{
+		"Heat 2/TRAP": {0.100, 0.005},
+		"APOP/LOOPS":  {0.001, 0.001}, // noisy microbenchmark
+	})
+	cur := report(map[string][2]float64{
+		"Heat 2/TRAP": {0.105, 0.005},  // +1 MAD, +5%: both clauses reject
+		"APOP/LOOPS":  {0.0018, 0.001}, // +80% relative, but < 3 MAD
+	})
+	if regs := Regressions(Compare(old, cur, DefaultGate())); len(regs) != 0 {
+		t.Fatalf("noise flagged as regression: %+v", regs)
+	}
+	// The same +80% with tight MADs IS a regression: the gate keys on
+	// noise, not on absolute magnitude.
+	old = report(map[string][2]float64{"APOP/LOOPS": {0.001, 0.00001}})
+	cur = report(map[string][2]float64{"APOP/LOOPS": {0.0018, 0.00001}})
+	if regs := Regressions(Compare(old, cur, DefaultGate())); len(regs) != 1 {
+		t.Fatalf("tight-noise 80%% slowdown not flagged: %+v", regs)
+	}
+}
+
+// TestDiffImprovementAndMissing: speedups are reported as improvements (not
+// regressions), and configurations present in only one report are marked.
+func TestDiffImprovementAndMissing(t *testing.T) {
+	old := report(map[string][2]float64{
+		"Heat 2/TRAP": {0.200, 0.002},
+		"LBM 3/TRAP":  {0.500, 0.002},
+	})
+	cur := report(map[string][2]float64{
+		"Heat 2/TRAP":  {0.100, 0.002}, // 2x faster
+		"Life 2p/TRAP": {0.050, 0.001}, // new configuration
+	})
+	deltas := Compare(old, cur, DefaultGate())
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", regs)
+	}
+	var improved, gone, added bool
+	for _, d := range deltas {
+		switch {
+		case d.Benchmark == "Heat 2" && d.Improvement:
+			improved = true
+		case d.Benchmark == "LBM 3" && d.Missing == "new":
+			gone = true
+		case d.Benchmark == "Life 2p" && d.Missing == "old":
+			added = true
+		}
+	}
+	if !improved || !gone || !added {
+		t.Fatalf("improved=%v gone=%v added=%v, want all true: %+v", improved, gone, added, deltas)
+	}
+}
+
+// TestDiffRendering: both renderers cover every row and mark regressions.
+func TestDiffRendering(t *testing.T) {
+	old := report(map[string][2]float64{"Heat 2/TRAP": {0.100, 0.001}})
+	cur := report(map[string][2]float64{"Heat 2/TRAP": {0.250, 0.001}})
+	deltas := Compare(old, cur, DefaultGate())
+
+	var text, md strings.Builder
+	WriteText(&text, deltas)
+	WriteMarkdown(&md, deltas)
+	if !strings.Contains(text.String(), "REGRESSION") {
+		t.Fatalf("text report missing regression verdict:\n%s", text.String())
+	}
+	if !strings.Contains(md.String(), "**REGRESSION**") || !strings.Contains(md.String(), "| Heat 2 |") {
+		t.Fatalf("markdown report malformed:\n%s", md.String())
+	}
+}

@@ -1,0 +1,116 @@
+package benchlab
+
+import (
+	"fmt"
+	"os/exec"
+	"sort"
+	"strings"
+	"time"
+
+	"pochoir/internal/stencils"
+)
+
+// measure times repeated executions of a job: one untimed warm-up, then a
+// repetition count calibrated so the timed repetitions together fill
+// roughly the budget (at least 3, at most maxReps — robust statistics need
+// a sample, a lab session needs to finish).
+func measure(job func() stencils.Job, budget time.Duration, maxReps int) (WallStats, error) {
+	// Warm-up: faults the pages in, warms the scheduler, and yields the
+	// calibration estimate.
+	est, err := timeOnce(job)
+	if err != nil {
+		return WallStats{}, err
+	}
+	reps := maxReps
+	if est > 0 {
+		reps = int(budget / est)
+	}
+	if reps < 3 {
+		reps = 3
+	}
+	if reps > maxReps {
+		reps = maxReps
+	}
+	samples := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		d, err := timeOnce(job)
+		if err != nil {
+			return WallStats{}, err
+		}
+		samples = append(samples, d.Seconds())
+	}
+	min, max := samples[0], samples[0]
+	for _, s := range samples {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return WallStats{
+		Reps:          reps,
+		MedianSeconds: Median(samples),
+		MADSeconds:    MAD(samples),
+		MinSeconds:    min,
+		MaxSeconds:    max,
+	}, nil
+}
+
+// timeOnce runs one full job, timing only Compute (Setup allocates and
+// initializes; Result linearizes — neither is the stencil).
+func timeOnce(job func() stencils.Job) (d time.Duration, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job panicked: %v", r)
+		}
+	}()
+	j := job()
+	j.Setup()
+	start := time.Now()
+	j.Compute()
+	return time.Since(start), nil
+}
+
+// Median returns the sample median (mean of the middle pair for even n),
+// 0 for an empty sample. The input is not modified.
+func Median(samples []float64) float64 {
+	n := len(samples)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MAD returns the median absolute deviation from the median — the robust
+// scale estimate the regression gate uses (unscaled: no 1.4826 consistency
+// factor, since the gate compares MADs to MADs, not to standard deviations).
+func MAD(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	med := Median(samples)
+	dev := make([]float64, len(samples))
+	for i, s := range samples {
+		d := s - med
+		if d < 0 {
+			d = -d
+		}
+		dev[i] = d
+	}
+	return Median(dev)
+}
+
+// gitRevParse returns the short commit hash of the working tree.
+func gitRevParse() (string, error) {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(out)), nil
+}

@@ -113,6 +113,27 @@ func (c *Cache) Ratio() float64 {
 	return float64(c.misses) / float64(c.accesses)
 }
 
+// Stats is the JSON-marshalable summary of a simulation: the model's
+// geometry plus the access/miss counts and the derived miss ratio.
+type Stats struct {
+	MPoints   int     `json:"m_points"`
+	BPoints   int     `json:"b_points"`
+	Accesses  int64   `json:"accesses"`
+	Misses    int64   `json:"misses"`
+	MissRatio float64 `json:"miss_ratio"`
+}
+
+// Stats returns the current summary of the cache.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		MPoints:   c.M(),
+		BPoints:   c.B(),
+		Accesses:  c.accesses,
+		Misses:    c.misses,
+		MissRatio: c.Ratio(),
+	}
+}
+
 // Reset clears contents and statistics.
 func (c *Cache) Reset() {
 	c.lines = make(map[int64]*node, c.capacity+1)

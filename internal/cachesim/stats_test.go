@@ -1,0 +1,42 @@
+package cachesim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestStatsView: the JSON summary reflects the model geometry and counters.
+func TestStatsView(t *testing.T) {
+	c := New(64, 8)
+	for i := int64(0); i < 128; i++ {
+		c.Access(i) // sequential sweep: one miss per 8-point line
+	}
+	s := c.Stats()
+	if s.MPoints != 64 || s.BPoints != 8 {
+		t.Fatalf("geometry %d/%d, want 64/8", s.MPoints, s.BPoints)
+	}
+	if s.Accesses != 128 || s.Misses != 16 {
+		t.Fatalf("accesses/misses %d/%d, want 128/16", s.Accesses, s.Misses)
+	}
+	if s.MissRatio != c.Ratio() {
+		t.Fatalf("ratio %f diverges from Ratio() %f", s.MissRatio, c.Ratio())
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stats
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip changed stats: %+v vs %+v", back, s)
+	}
+}
+
+// TestStatsEmpty: a fresh cache reports zeros, not NaN.
+func TestStatsEmpty(t *testing.T) {
+	if s := New(64, 8).Stats(); s.Accesses != 0 || s.Misses != 0 || s.MissRatio != 0 {
+		t.Fatalf("fresh cache stats not zero: %+v", s)
+	}
+}

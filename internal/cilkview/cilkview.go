@@ -48,6 +48,11 @@ type Metrics struct {
 	// Zoids and Bases count decomposition nodes and base cases.
 	Zoids int64
 	Bases int64
+	// Spawns counts task spawns: a parallel step over r subzoids performs
+	// r-1 spawns (the last task runs on the spawning strand, as cilk_spawn
+	// does). Syncs counts the fork-join sync points, one per parallel step.
+	Spawns int64
+	Syncs  int64
 }
 
 // Parallelism returns T1/T∞.
@@ -56,6 +61,32 @@ func (m Metrics) Parallelism() float64 {
 		return 0
 	}
 	return float64(m.Work) / float64(m.Span)
+}
+
+// MetricsView is the JSON-marshalable view of an analysis, with the derived
+// parallelism included so consumers (the benchmark lab, the fig9
+// experiment) don't re-derive fields by hand.
+type MetricsView struct {
+	Work        int64   `json:"work"`
+	Span        int64   `json:"span"`
+	Parallelism float64 `json:"parallelism"`
+	Zoids       int64   `json:"zoids"`
+	Bases       int64   `json:"bases"`
+	Spawns      int64   `json:"spawns"`
+	Syncs       int64   `json:"syncs"`
+}
+
+// View returns the JSON-marshalable form of m.
+func (m Metrics) View() MetricsView {
+	return MetricsView{
+		Work:        m.Work,
+		Span:        m.Span,
+		Parallelism: m.Parallelism(),
+		Zoids:       m.Zoids,
+		Bases:       m.Bases,
+		Spawns:      m.Spawns,
+		Syncs:       m.Syncs,
+	}
 }
 
 // Analyzer replays a walker's decomposition.
@@ -79,7 +110,26 @@ func (a *Analyzer) Analyze(t0, t1 int) Metrics {
 		return Metrics{}
 	}
 	z := zoid.Box(t0, t1, a.W.Sizes[:a.W.NDims])
+	if a.W.Algorithm == core.LOOPS {
+		return a.analyzeLoops(z)
+	}
 	return a.analyze(z)
+}
+
+// analyzeLoops accounts the LOOPS engine exactly as core.Walker.runLoops
+// executes it: each time step is swept as height-1 base cases chunked along
+// dimension 0, in order on one strand — so the span equals the work and the
+// parallelism is 1.
+func (a *Analyzer) analyzeLoops(z zoid.Zoid) Metrics {
+	chunk := a.W.SpaceCutoff[0]
+	width := z.Hi[0] - z.Lo[0]
+	if chunk < 1 {
+		chunk = width
+	}
+	perStep := int64((width + chunk - 1) / chunk)
+	vol := z.Volume() * a.Costs.Point
+	n := perStep * int64(z.Height())
+	return Metrics{Work: vol, Span: vol, Zoids: n, Bases: n}
 }
 
 // key builds the canonical translation-invariant signature of z: height
@@ -129,10 +179,12 @@ func (a *Analyzer) analyzeUncached(z zoid.Zoid) Metrics {
 		ml := a.analyze(lower)
 		mu := a.analyze(upper)
 		return Metrics{
-			Work:  ml.Work + mu.Work,
-			Span:  ml.Span + mu.Span,
-			Zoids: ml.Zoids + mu.Zoids + 1,
-			Bases: ml.Bases + mu.Bases,
+			Work:   ml.Work + mu.Work,
+			Span:   ml.Span + mu.Span,
+			Zoids:  ml.Zoids + mu.Zoids + 1,
+			Bases:  ml.Bases + mu.Bases,
+			Spawns: ml.Spawns + mu.Spawns,
+			Syncs:  ml.Syncs + mu.Syncs,
 		}
 	}
 	vol := z.Volume() * a.Costs.Point
@@ -152,11 +204,15 @@ func (a *Analyzer) trapCut(z zoid.Zoid, cuts []zoid.Cut) Metrics {
 			out.Work += m.Work
 			out.Zoids += m.Zoids
 			out.Bases += m.Bases
+			out.Spawns += m.Spawns
+			out.Syncs += m.Syncs
 			if m.Span > maxSpan {
 				maxSpan = m.Span
 			}
 		}
 		out.Span += maxSpan + a.Costs.Spawn*lg(len(level)) + a.Costs.Sync
+		out.Spawns += int64(len(level) - 1)
+		out.Syncs++
 	}
 	return out
 }
@@ -174,11 +230,15 @@ func (a *Analyzer) strapCut(z zoid.Zoid, c zoid.Cut) Metrics {
 			out.Work += m.Work
 			out.Zoids += m.Zoids
 			out.Bases += m.Bases
+			out.Spawns += m.Spawns
+			out.Syncs += m.Syncs
 			if m.Span > maxSpan {
 				maxSpan = m.Span
 			}
 		}
 		out.Span += maxSpan + a.Costs.Spawn*lg(len(zs)) + a.Costs.Sync
+		out.Spawns += int64(len(zs) - 1)
+		out.Syncs++
 	}
 	if c.Kind == zoid.CutCircle {
 		sub, _ := z.CircleCut(c.Dim, c.Slope, c.Size)

@@ -1,0 +1,82 @@
+package cilkview
+
+import (
+	"encoding/json"
+	"testing"
+
+	"pochoir/internal/core"
+)
+
+// TestViewRoundTrip: the JSON view carries every counter plus the derived
+// parallelism, unmarshalable back to identical values.
+func TestViewRoundTrip(t *testing.T) {
+	m := New(Config(2, 64, 1, false, core.TRAP), DefaultCosts()).Analyze(1, 33)
+	v := m.View()
+	if v.Work != m.Work || v.Span != m.Span || v.Zoids != m.Zoids || v.Bases != m.Bases {
+		t.Fatalf("view dropped counters: %+v vs %+v", v, m)
+	}
+	if v.Parallelism != m.Parallelism() {
+		t.Fatalf("view parallelism %f, want %f", v.Parallelism, m.Parallelism())
+	}
+	if v.Spawns <= 0 || v.Syncs <= 0 {
+		t.Fatalf("TRAP analysis recorded no spawns/syncs: %+v", v)
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MetricsView
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != v {
+		t.Fatalf("round trip changed view: %+v vs %+v", back, v)
+	}
+}
+
+// TestSpawnSyncCounts: every parallel step over r tasks contributes r-1
+// spawns and one sync, so a decomposition with any parallel step at all has
+// spawns < bases (each base ran on some strand) and syncs > 0; and the
+// serial span accounting is consistent — span plus spawn/sync overhead
+// cannot exceed work plus total bookkeeping.
+func TestSpawnSyncCounts(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.TRAP, core.STRAP} {
+		m := New(Config(2, 96, 1, false, alg), DefaultCosts()).Analyze(1, 49)
+		if m.Spawns <= 0 {
+			t.Fatalf("%v: no spawns recorded", alg)
+		}
+		if m.Syncs <= 0 {
+			t.Fatalf("%v: no syncs recorded", alg)
+		}
+		// r-1 spawns per step over r tasks means spawns < total tasks,
+		// and every task is a zoid of the decomposition.
+		if m.Spawns >= m.Zoids {
+			t.Fatalf("%v: %d spawns not below %d zoids", alg, m.Spawns, m.Zoids)
+		}
+	}
+}
+
+// TestAnalyzeLoops: the LOOPS engine is a serial sweep, so work equals span
+// (parallelism 1), base count matches the chunked step sweep, and no
+// spawns/syncs occur.
+func TestAnalyzeLoops(t *testing.T) {
+	w := Config(2, 40, 1, false, core.LOOPS)
+	w.SpaceCutoff[0] = 16 // 40/16 -> 3 chunks per step
+	m := New(w, DefaultCosts()).Analyze(1, 11)
+	wantWork := int64(10) * 40 * 40
+	if m.Work != wantWork {
+		t.Fatalf("work %d, want %d", m.Work, wantWork)
+	}
+	if m.Span != m.Work {
+		t.Fatalf("LOOPS span %d should equal work %d", m.Span, m.Work)
+	}
+	if got := m.Parallelism(); got != 1 {
+		t.Fatalf("LOOPS parallelism %f, want 1", got)
+	}
+	if want := int64(3 * 10); m.Bases != want || m.Zoids != want {
+		t.Fatalf("bases/zoids %d/%d, want %d", m.Bases, m.Zoids, want)
+	}
+	if m.Spawns != 0 || m.Syncs != 0 {
+		t.Fatalf("LOOPS recorded spawns/syncs: %d/%d", m.Spawns, m.Syncs)
+	}
+}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"errors"
 	"expvar"
 	"fmt"
 	"net"
@@ -87,5 +88,18 @@ func (m *Monitor) Addr() string { return m.ln.Addr().String() }
 // URL returns the base http:// URL of the monitor.
 func (m *Monitor) URL() string { return "http://" + m.Addr() }
 
-// Close shuts the server down immediately, closing the listener.
-func (m *Monitor) Close() error { return m.srv.Close() }
+// Close shuts the server down immediately, closing the listener. It is
+// idempotent: closing an already-closed monitor returns nil.
+func (m *Monitor) Close() error {
+	err := m.srv.Close()
+	// srv.Close only closes listeners the Serve goroutine has already
+	// registered; close ours directly so Close never leaks the port even
+	// when it races the goroutine's startup.
+	if lnErr := m.ln.Close(); lnErr != nil && !errors.Is(lnErr, net.ErrClosed) && err == nil {
+		err = lnErr
+	}
+	if errors.Is(err, net.ErrClosed) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestMonitorPortZero: serving on :0 binds an ephemeral port and Addr
+// reports one that actually answers requests.
+func TestMonitorPortZero(t *testing.T) {
+	r := NewRegistry()
+	r.StartProgress("probe", 100).Finish(true)
+	m, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if strings.HasSuffix(m.Addr(), ":0") {
+		t.Fatalf("Addr %q still reports port 0", m.Addr())
+	}
+	resp, err := http.Get(m.URL() + "/metrics")
+	if err != nil {
+		t.Fatalf("monitor not reachable at %s: %v", m.Addr(), err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "pochoir_") {
+		t.Fatalf("exposition has no pochoir metrics:\n%s", body)
+	}
+}
+
+// TestMonitorCloseIdempotent: Close can be called repeatedly without
+// panicking or reporting an error, and the port is released.
+func TestMonitorCloseIdempotent(t *testing.T) {
+	r := NewRegistry()
+	m, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := m.Addr()
+	if err := m.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.Close(); err != nil {
+			t.Fatalf("Close #%d: %v", i+2, err)
+		}
+	}
+	// The address must be rebindable once closed.
+	m2, err := Serve(addr, r)
+	if err != nil {
+		t.Fatalf("port %s not released after Close: %v", addr, err)
+	}
+	m2.Close()
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestProgressZeroTotal: a run predicted at zero points (zero steps, or a
+// zero-volume grid) must never divide by the total — percent stays 0 while
+// running, ETA stays 0, and a successful Finish reads exactly 100.
+func TestProgressZeroTotal(t *testing.T) {
+	r := NewRegistry()
+	p := r.StartProgress("empty", 0)
+	if got := p.Percent(); got != 0 {
+		t.Fatalf("running zero-total percent %f, want 0", got)
+	}
+	if got := p.ETA(); got != 0 {
+		t.Fatalf("running zero-total ETA %v, want 0", got)
+	}
+	st := p.stat()
+	if math.IsNaN(st.Percent) || math.IsNaN(st.ETASeconds) || math.IsNaN(st.RateMpts) {
+		t.Fatalf("zero-total stat has NaN: %+v", st)
+	}
+	p.Finish(true)
+	if got := p.Percent(); got != 100 {
+		t.Fatalf("finished zero-total percent %f, want 100", got)
+	}
+	st = p.stat()
+	if st.Percent != 100 || !st.OK || st.Active {
+		t.Fatalf("finished zero-total stat wrong: %+v", st)
+	}
+}
+
+// TestProgressZeroTotalFailed: a failed zero-total run stays at 0, not 100.
+func TestProgressZeroTotalFailed(t *testing.T) {
+	r := NewRegistry()
+	p := r.StartProgress("empty-fail", 0)
+	p.Finish(false)
+	if got := p.Percent(); got != 0 {
+		t.Fatalf("failed zero-total percent %f, want 0", got)
+	}
+	if st := p.stat(); st.OK || st.Active || math.IsNaN(st.Percent) {
+		t.Fatalf("failed zero-total stat wrong: %+v", st)
+	}
+}
+
+// TestProgressNoWork: a run with a total but no recorded points yet has no
+// rate to extrapolate — ETA and rate must be 0, never NaN or negative.
+func TestProgressNoWork(t *testing.T) {
+	r := NewRegistry()
+	p := r.StartProgress("idle", 1000)
+	if got := p.ETA(); got != 0 {
+		t.Fatalf("no-work ETA %v, want 0", got)
+	}
+	st := p.stat()
+	if st.Percent != 0 || math.IsNaN(st.RateMpts) || st.RateMpts < 0 {
+		t.Fatalf("no-work stat wrong: %+v", st)
+	}
+	// Overshoot (redone segments) clamps at 100 while running.
+	p.Add(2000)
+	if got := p.Percent(); got != 100 {
+		t.Fatalf("overshoot percent %f, want clamp at 100", got)
+	}
+	if got := p.ETA(); got != 0 {
+		t.Fatalf("overshoot ETA %v, want 0", got)
+	}
+	p.Finish(true)
+	if got := p.Percent(); got != 100 {
+		t.Fatalf("finished percent %f, want 100", got)
+	}
+}

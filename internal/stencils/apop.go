@@ -39,6 +39,8 @@ func NewAPOPFactory() Factory {
 			sizes, steps = defaults(sizes, steps, []int{400000}, 2000)
 			return newAPOP(sizes[0], steps)
 		},
+		Shape:    APOPShape,
+		Periodic: []bool{false},
 	}
 }
 

@@ -1,0 +1,29 @@
+package stencils
+
+import "testing"
+
+// TestFactoryShapeHooks checks the analytical-replay hooks every factory
+// exports for the benchmark lab: the shape's dimensionality matches the
+// factory's, and the periodicity vector (when present) has one entry per
+// spatial dimension.
+func TestFactoryShapeHooks(t *testing.T) {
+	for _, f := range All() {
+		if f.Shape == nil {
+			t.Errorf("%q: no Shape hook", f.Name)
+			continue
+		}
+		sh := f.Shape()
+		if sh.NDims != f.Dims {
+			t.Errorf("%q: shape is %d-dimensional, factory says %d", f.Name, sh.NDims, f.Dims)
+		}
+		if f.Periodic != nil && len(f.Periodic) != f.Dims {
+			t.Errorf("%q: Periodic has %d entries, want %d", f.Name, len(f.Periodic), f.Dims)
+		}
+		// Slopes must be well defined for the analyzer's walker geometry.
+		for i := 0; i < sh.NDims; i++ {
+			if sh.Slope(i) < 0 {
+				t.Errorf("%q: negative slope in dim %d", f.Name, i)
+			}
+		}
+	}
+}

@@ -30,6 +30,8 @@ func NewHeat1DFactory(periodic bool) Factory {
 			sizes, steps = defaults(sizes, steps, []int{4000000}, 50)
 			return &heat1D{N: sizes[0], steps: steps, periodic: periodic}
 		},
+		Shape:    Heat1DShape,
+		Periodic: []bool{periodic},
 	}
 }
 

@@ -41,6 +41,8 @@ func NewHeat2DFactory(periodic bool) Factory {
 			sizes, steps = defaults(sizes, steps, []int{2000, 2000}, 64)
 			return &heat2D{X: sizes[0], Y: sizes[1], steps: steps, periodic: periodic}
 		},
+		Shape:    Heat2DShape,
+		Periodic: []bool{periodic, periodic},
 	}
 }
 

@@ -29,6 +29,7 @@ func NewHeat4DFactory() Factory {
 			sizes, steps = defaults(sizes, steps, []int{40, 40, 40, 40}, 20)
 			return &heat4D{sz: [4]int{sizes[0], sizes[1], sizes[2], sizes[3]}, steps: steps}
 		},
+		Shape: Heat4DShape,
 	}
 }
 

@@ -84,6 +84,7 @@ func NewLBMFactory() Factory {
 			sizes, steps = defaults(sizes, steps, []int{40, 40, 52}, 60)
 			return &lbm{sz: [3]int{sizes[0], sizes[1], sizes[2]}, steps: steps}
 		},
+		Shape: LBMShape,
 	}
 }
 

@@ -40,6 +40,7 @@ func NewLCSFactory() Factory {
 			}
 			return &lcs{n: n, m: m, steps: steps}
 		},
+		Shape: LCSShape,
 	}
 }
 

@@ -24,6 +24,8 @@ func NewLifeFactory() Factory {
 			sizes, steps = defaults(sizes, steps, []int{2000, 2000}, 64)
 			return &life{X: sizes[0], Y: sizes[1], steps: steps}
 		},
+		Shape:    LifeShape,
+		Periodic: []bool{true, true},
 	}
 }
 

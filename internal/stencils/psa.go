@@ -44,6 +44,7 @@ func NewPSAFactory() Factory {
 			}
 			return &psa{n: n, m: m, steps: steps}
 		},
+		Shape: PSAShape,
 	}
 }
 

@@ -34,6 +34,7 @@ func NewPt7Factory() Factory {
 			sizes, steps = defaults(sizes, steps, []int{128, 128, 128}, 50)
 			return &pt{sz: [3]int{sizes[0], sizes[1], sizes[2]}, steps: steps, corners: false}
 		},
+		Shape: func() *pochoir.Shape { return PtShape(false) },
 	}
 }
 
@@ -49,6 +50,7 @@ func NewPt27Factory() Factory {
 			sizes, steps = defaults(sizes, steps, []int{128, 128, 128}, 50)
 			return &pt{sz: [3]int{sizes[0], sizes[1], sizes[2]}, steps: steps, corners: true}
 		},
+		Shape: func() *pochoir.Shape { return PtShape(true) },
 	}
 }
 

@@ -36,6 +36,7 @@ func NewRNAFactory() Factory {
 			sizes, steps = defaults(sizes, steps, []int{150, 150}, 450)
 			return &rna{n: sizes[0], steps: steps}
 		},
+		Shape: RNAShape,
 	}
 }
 

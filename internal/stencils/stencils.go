@@ -84,6 +84,15 @@ type Factory struct {
 	// New builds an instance; sizes/steps of zero select scaled-down
 	// defaults suitable for a laptop-class machine.
 	New func(sizes []int, steps int) Instance
+	// Shape returns the benchmark's stencil shape, for analytical replays
+	// of its decomposition (the work/span analyzer and the cache-trace
+	// simulator). Nil when the benchmark has no single
+	// translation-invariant shape to replay.
+	Shape func() *pochoir.Shape
+	// Periodic reports, per spatial dimension, whether the benchmark's
+	// boundary wraps around (torus) rather than clamping; nil means
+	// nonperiodic in every dimension.
+	Periodic []bool
 }
 
 var registry []Factory

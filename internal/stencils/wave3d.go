@@ -28,6 +28,7 @@ func NewWave3DFactory() Factory {
 			sizes, steps = defaults(sizes, steps, []int{150, 150, 150}, 30)
 			return &wave3D{sz: [3]int{sizes[0], sizes[1], sizes[2]}, steps: steps}
 		},
+		Shape: Wave3DShape,
 	}
 }
 

@@ -129,6 +129,49 @@ func (st Stats) AvgBaseVolume() float64 {
 	return float64(st.BasePoints) / float64(st.Bases)
 }
 
+// Summary is the compact JSON-marshalable view of Stats: the decomposition
+// counters plus the derived base-volume percentiles and achieved
+// parallelism, without the histograms and per-worker arrays. It is what the
+// benchmark lab embeds in its fused per-run records.
+type Summary struct {
+	WallSeconds         float64 `json:"wall_seconds"`
+	Zoids               int64   `json:"zoids"`
+	TimeCuts            int64   `json:"time_cuts"`
+	HyperCuts           int64   `json:"hyper_cuts"`
+	SpaceCuts           int64   `json:"space_cuts"`
+	CircleCuts          int64   `json:"circle_cuts"`
+	Bases               int64   `json:"bases"`
+	InteriorBases       int64   `json:"interior_bases"`
+	BasePoints          int64   `json:"base_points"`
+	BaseVolP50          float64 `json:"base_vol_p50"`
+	BaseVolP90          float64 `json:"base_vol_p90"`
+	BaseVolP99          float64 `json:"base_vol_p99"`
+	Spawns              int64   `json:"spawns"`
+	Inlines             int64   `json:"inlines"`
+	AchievedParallelism float64 `json:"achieved_parallelism"`
+}
+
+// Summary returns the compact JSON view of st.
+func (st Stats) Summary() Summary {
+	return Summary{
+		WallSeconds:         st.Wall.Seconds(),
+		Zoids:               st.Zoids(),
+		TimeCuts:            st.TimeCuts,
+		HyperCuts:           st.HyperCuts,
+		SpaceCuts:           st.SpaceCuts,
+		CircleCuts:          st.CircleCuts,
+		Bases:               st.Bases,
+		InteriorBases:       st.InteriorBases,
+		BasePoints:          st.BasePoints,
+		BaseVolP50:          st.BaseVolumePercentile(0.50),
+		BaseVolP90:          st.BaseVolumePercentile(0.90),
+		BaseVolP99:          st.BaseVolumePercentile(0.99),
+		Spawns:              st.Spawns,
+		Inlines:             st.Inlines,
+		AchievedParallelism: st.AchievedParallelism(),
+	}
+}
+
 // Delta returns the difference st - prev, the activity between two
 // snapshots of the same recorder (e.g. one Stencil.Run).
 func (st Stats) Delta(prev Stats) Stats {

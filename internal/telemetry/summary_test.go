@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestSummary: the compact view carries the counters and derived values and
+// marshals to JSON without loss.
+func TestSummary(t *testing.T) {
+	st := Stats{
+		Wall:          2 * time.Second,
+		TimeCuts:      10,
+		HyperCuts:     4,
+		SpaceCuts:     3,
+		Bases:         20,
+		InteriorBases: 15,
+		BasePoints:    4000,
+		Spawns:        8,
+		Inlines:       12,
+		WorkerBusy:    []time.Duration{3 * time.Second, time.Second},
+	}
+	st.BaseVolumeHist[7] = 20
+
+	s := st.Summary()
+	if s.Zoids != st.Zoids() {
+		t.Fatalf("summary zoids %d, want %d", s.Zoids, st.Zoids())
+	}
+	if s.WallSeconds != 2 {
+		t.Fatalf("wall seconds %f, want 2", s.WallSeconds)
+	}
+	if s.AchievedParallelism != 2 {
+		t.Fatalf("achieved parallelism %f, want 2", s.AchievedParallelism)
+	}
+	if s.BaseVolP50 != st.BaseVolumePercentile(0.50) || s.BaseVolP99 != st.BaseVolumePercentile(0.99) {
+		t.Fatalf("percentiles diverge from Stats: %+v", s)
+	}
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip changed summary: %+v vs %+v", back, s)
+	}
+}
+
+// TestSummaryZero: an empty Stats produces a finite, all-zero summary — no
+// NaN from the parallelism or percentile divisions.
+func TestSummaryZero(t *testing.T) {
+	s := Stats{}.Summary()
+	if s != (Summary{}) {
+		t.Fatalf("zero stats summary not zero: %+v", s)
+	}
+}

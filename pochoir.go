@@ -293,35 +293,45 @@ func (s *Stencil[T]) newWalker() (*core.Walker, error) {
 // coarsening returns the effective (time, per-dim space) base-case cutoffs:
 // the user's overrides when set, otherwise the paper's §4 heuristic.
 func (s *Stencil[T]) coarsening() (timeCut int, spaceCut []int) {
-	d := s.shape.NDims
-	spaceCut = make([]int, d)
+	defTime, defSpace := DefaultCoarsening(s.shape.NDims)
+	spaceCut = defSpace
 	if s.opts.SpaceCutoff != nil {
 		copy(spaceCut, s.opts.SpaceCutoff)
-	} else {
-		switch {
-		case d == 1:
-			spaceCut[0] = 1000
-		case d == 2:
-			spaceCut[0], spaceCut[1] = 100, 100
-		default:
-			// Never cut the unit-stride dimension; keep the rest small
-			// hypercubes ("1000x3x3 with 3 time steps").
-			for i := 0; i < d-1; i++ {
-				spaceCut[i] = 3
-			}
-			spaceCut[d-1] = 1 << 30 // effectively: never cut
-		}
 	}
 	timeCut = s.opts.TimeCutoff
 	if timeCut == 0 {
-		switch {
-		case d == 1:
-			timeCut = 100
-		case d == 2:
-			timeCut = 5
-		default:
-			timeCut = 3
+		timeCut = defTime
+	}
+	return timeCut, spaceCut
+}
+
+// DefaultCoarsening returns the paper's §4 base-case coarsening heuristic
+// for a d-dimensional stencil: the time cutoff and per-dimension space
+// cutoffs a zero-valued Options selects. Exported so analytical replays of
+// the decomposition (the work/span analyzer, the cache-trace simulator, the
+// benchmark lab) can build walker geometries identical to the engine's.
+func DefaultCoarsening(d int) (timeCut int, spaceCut []int) {
+	spaceCut = make([]int, d)
+	switch {
+	case d == 1:
+		spaceCut[0] = 1000
+	case d == 2:
+		spaceCut[0], spaceCut[1] = 100, 100
+	default:
+		// Never cut the unit-stride dimension; keep the rest small
+		// hypercubes ("1000x3x3 with 3 time steps").
+		for i := 0; i < d-1; i++ {
+			spaceCut[i] = 3
 		}
+		spaceCut[d-1] = 1 << 30 // effectively: never cut
+	}
+	switch {
+	case d == 1:
+		timeCut = 100
+	case d == 2:
+		timeCut = 5
+	default:
+		timeCut = 3
 	}
 	return timeCut, spaceCut
 }
