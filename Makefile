@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench verify fuzz-smoke soak monitor-smoke bench-lab
+.PHONY: build vet test race bench verify fuzz-smoke soak monitor-smoke bench-lab flight-smoke
 
 build:
 	$(GO) build ./...
@@ -24,8 +24,8 @@ test:
 # (segment retries, degradation ladder, shadow verification) under the
 # detector.
 race:
-	$(GO) test -race ./internal/core ./internal/sched ./internal/telemetry ./internal/loops ./internal/faultpoint ./internal/resilience ./internal/metrics
-	$(GO) test -race -run 'Panic|Cancel|Poison|Checkpoint|Restore|Fault|RegisterArray|Supervised|LoopsEngine|Monitor|Progress' .
+	$(GO) test -race ./internal/core ./internal/sched ./internal/telemetry ./internal/loops ./internal/faultpoint ./internal/resilience ./internal/metrics ./internal/flight
+	$(GO) test -race -run 'Panic|Cancel|Poison|Checkpoint|Restore|Fault|RegisterArray|Supervised|LoopsEngine|Monitor|Progress|Bundle|Recorder|Incident' .
 
 # soak runs the supervised-run soak with probabilistic faults armed at the
 # walker's base and cut sites: every visit rolls the dice, and the
@@ -63,5 +63,24 @@ monitor-smoke:
 bench-lab:
 	$(GO) run ./cmd/benchlab run -profile quick -out BENCH_pochoir.json
 	$(GO) run ./cmd/benchlab check -informational -baseline BENCH_baseline.json BENCH_pochoir.json
+
+# flight-smoke is the black-box post-mortem smoke test: POCHOIR_FAULTPOINTS
+# kills the run at its 121st base case — past 90% of the quick workload's
+# 128 (the experiment calibrates the total with a clean run and fails if the
+# armed count lands at <=90%, so a decomposition change that shifts the base
+# count gets caught, not silently mis-tuned) — and the flight experiment
+# asserts the crash bundle exists, parses, attributes the failing zoid, and
+# holds the panic in its event window. cmd/blackbox must then list, render,
+# diff, and trace-export the same bundle. Bundles land in ./flight-smoke-out
+# so CI can upload them as artifacts.
+flight-smoke:
+	rm -rf flight-smoke-out && mkdir -p flight-smoke-out
+	POCHOIR_POSTMORTEM_DIR=$(CURDIR)/flight-smoke-out \
+		POCHOIR_FAULTPOINTS='walker/base=panic:after=120' \
+		$(GO) run ./cmd/experiments -run flight -quick
+	POCHOIR_POSTMORTEM_DIR=$(CURDIR)/flight-smoke-out $(GO) run ./cmd/blackbox list
+	POCHOIR_POSTMORTEM_DIR=$(CURDIR)/flight-smoke-out $(GO) run ./cmd/blackbox show -tail 12
+	POCHOIR_POSTMORTEM_DIR=$(CURDIR)/flight-smoke-out $(GO) run ./cmd/blackbox diff
+	POCHOIR_POSTMORTEM_DIR=$(CURDIR)/flight-smoke-out $(GO) run ./cmd/blackbox trace -o flight-smoke-out/postmortem-trace.json
 
 verify: build vet test race

@@ -116,6 +116,38 @@ func BenchmarkHeat2DMonitored(b *testing.B) {
 	}, up)
 }
 
+// BenchmarkHeat2DFlightRecorder is the black-box acceptance benchmark: the
+// Heat 2D workload with the always-on flight recorder (the default) against
+// the same workload opted out. The write path is a handful of atomic stores
+// per cut/base event, so the budget is ≤3% — asserted here when both halves
+// ran, with the caveat that sub-benchtime noise on a loaded machine can
+// exceed the real cost; EXPERIMENTS.md records the number from a quiet run.
+func BenchmarkHeat2DFlightRecorder(b *testing.B) {
+	f := stencils.NewHeat2DFactory(true)
+	sizes, steps := benchdef.AblationHeat2D.Sizes, benchdef.AblationHeat2D.Steps
+	up := float64(benchdef.AblationHeat2D.Updates())
+	var offNs, onNs float64
+	b.Run("Off", func(b *testing.B) {
+		benchJob(b, func() stencils.Job {
+			return f.New(sizes, steps).Pochoir(pochoir.Options{NoFlightRecorder: true})
+		}, up)
+		offNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("On", func(b *testing.B) {
+		benchJob(b, func() stencils.Job {
+			return f.New(sizes, steps).Pochoir(pochoir.Options{})
+		}, up)
+		onNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	if offNs > 0 && onNs > 0 {
+		overhead := (onNs/offNs - 1) * 100
+		b.ReportMetric(overhead, "overhead_%")
+		if overhead > 3.0 {
+			b.Errorf("always-on flight recorder costs %.2f%% over disabled, budget is 3%%", overhead)
+		}
+	}
+}
+
 // BenchmarkSupervisedHeat2D measures the resilience supervisor's overhead
 // on the Heat 2D workload. NoCheckpoint is the happy path — one segment, no
 // state copies, supervisor bookkeeping only — and is the 5%-of-Run

@@ -1,0 +1,386 @@
+// Command blackbox renders pochoir post-mortem bundles — the
+// pochoir-postmortem/v1 crash artifacts the flight recorder writes when a
+// run dies (see Options.FlightRecorder and POCHOIR_POSTMORTEM_DIR).
+//
+//	blackbox list                 list bundles in the diagnostics directory
+//	blackbox show [BUNDLE]        header, per-worker lane timeline, final events
+//	blackbox diff [BUNDLE]        failing segment vs the preceding healthy one
+//	blackbox trace [BUNDLE]       export the event window as a Chrome trace
+//
+// With BUNDLE omitted every subcommand loads the newest bundle in the
+// diagnostics directory (POCHOIR_POSTMORTEM_DIR, default under the OS temp
+// dir) — "what just crashed?" is the common case. The trace subcommand
+// writes Chrome trace-event JSON (-o FILE, default postmortem-trace.json)
+// loadable in chrome://tracing or https://ui.perfetto.dev, one instant-event
+// track per worker lane, alongside the span traces the live telemetry
+// recorder exports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"pochoir/internal/flight"
+	"pochoir/internal/telemetry"
+)
+
+func main() {
+	args := os.Args[1:]
+	cmd := "show"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
+	}
+	var err error
+	switch cmd {
+	case "list":
+		err = runList()
+	case "show":
+		err = runShow(args)
+	case "diff":
+		err = runDiff(args)
+	case "trace":
+		err = runTrace(args)
+	case "help", "-h", "--help":
+		usage(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "blackbox: unknown command %q\n\n", cmd)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blackbox: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage(w *os.File) {
+	fmt.Fprintf(w, `usage: blackbox [list|show|diff|trace] [flags] [BUNDLE]
+
+  list           list bundles in the diagnostics directory
+  show [BUNDLE]  render a bundle (default: the newest one)
+  diff [BUNDLE]  compare the failing segment against the preceding one
+  trace [BUNDLE] write a Chrome trace of the event window (-o FILE)
+
+diagnostics directory: %s
+`, flight.DefaultDir())
+}
+
+// bundles lists the post-mortem bundle paths in the diagnostics directory,
+// oldest first (the zero-padded timestamp filenames make lexical order
+// chronological).
+func bundles() ([]string, error) {
+	dir := flight.DefaultDir()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "postmortem-") && strings.HasSuffix(e.Name(), ".json") {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// load resolves the bundle argument: an explicit path, or the newest bundle
+// in the diagnostics directory.
+func load(path string) (*flight.Bundle, string, error) {
+	if path == "" {
+		all, err := bundles()
+		if err != nil {
+			return nil, "", err
+		}
+		if len(all) == 0 {
+			return nil, "", fmt.Errorf("no bundles in %s (set %s or pass a path)",
+				flight.DefaultDir(), flight.DirEnvVar)
+		}
+		path = all[len(all)-1]
+	}
+	b, err := flight.ReadBundle(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return b, path, nil
+}
+
+func runList() error {
+	all, err := bundles()
+	if err != nil {
+		return err
+	}
+	if len(all) == 0 {
+		fmt.Printf("no bundles in %s\n", flight.DefaultDir())
+		return nil
+	}
+	for _, p := range all {
+		b, err := flight.ReadBundle(p)
+		if err != nil {
+			fmt.Printf("%s  (unreadable: %v)\n", p, err)
+			continue
+		}
+		fmt.Printf("%s  %s  %-15s  %d events  %s\n",
+			b.WrittenAt.Format(time.RFC3339), filepath.Base(p), b.Cause.Kind,
+			len(b.Events), b.Cause.Error)
+	}
+	return nil
+}
+
+func runShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	tail := fs.Int("tail", 20, "final events to print")
+	width := fs.Int("width", 72, "timeline columns")
+	fs.Parse(args)
+	b, path, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("bundle    %s\n", path)
+	fmt.Printf("schema    %s  written %s\n", b.Schema, b.WrittenAt.Format(time.RFC3339))
+	fmt.Printf("cause     %s: %s\n", b.Cause.Kind, b.Cause.Error)
+	if z := b.Cause.Zoid; z != nil {
+		fmt.Printf("zoid      t=[%d,%d) lo=%v hi=%v\n", z.T0, z.T1, z.Lo, z.Hi)
+	}
+	fmt.Printf("run       %dD sizes=%v steps-run=%d algorithm=%s supervised=%v\n",
+		b.Run.NDims, b.Run.Sizes, b.Run.StepsRun, b.Run.Algorithm, b.Run.Supervised)
+	fmt.Printf("host      %s %s/%s %d cpus pid=%d", b.Host.GoVersion, b.Host.OS, b.Host.Arch,
+		b.Host.NumCPU, b.Host.PID)
+	if b.Host.Commit != "" {
+		fmt.Printf(" commit=%.12s", b.Host.Commit)
+	}
+	fmt.Println()
+	fmt.Printf("events    %d in window (%d recorded, %d lanes)\n\n",
+		len(b.Events), b.TotalEvents, b.Lanes)
+
+	if len(b.Events) == 0 {
+		fmt.Println("empty event window")
+		return nil
+	}
+
+	timeline(b, *width)
+
+	n := *tail
+	if n > len(b.Events) {
+		n = len(b.Events)
+	}
+	t0 := b.Events[0].TS
+	fmt.Printf("\nfinal %d events:\n", n)
+	for _, ev := range b.Events[len(b.Events)-n:] {
+		fmt.Printf("  +%-12s w%d  %s\n", relTime(ev.TS-t0), ev.Worker, ev.Describe())
+	}
+	return nil
+}
+
+// kindGlyphs maps event kinds to timeline cell glyphs, ordered by severity:
+// when a bucket holds several kinds the most severe one shows.
+var kindGlyphs = []struct {
+	kind  flight.Kind
+	glyph byte
+	label string
+}{
+	{flight.EvPanic, 'P', "panic"},
+	{flight.EvFault, 'F', "faultpoint"},
+	{flight.EvCancel, 'X', "cancel"},
+	{flight.EvSup, 'S', "supervisor"},
+	{flight.EvRunStart, 'r', "run-start"},
+	{flight.EvRunEnd, 'e', "run-end"},
+	{flight.EvCut, 'c', "cut"},
+	{flight.EvBase, '.', "base"},
+}
+
+// timeline renders the merged window as one ASCII row per worker lane: time
+// flows left to right across width buckets, each cell showing the most
+// severe event kind that lane recorded in that slice of the window.
+func timeline(b *flight.Bundle, width int) {
+	if width < 8 {
+		width = 8
+	}
+	t0 := b.Events[0].TS
+	t1 := b.Events[len(b.Events)-1].TS
+	span := t1 - t0
+	if span <= 0 {
+		span = 1
+	}
+	sev := make(map[flight.Kind]int, len(kindGlyphs))
+	for i, kg := range kindGlyphs {
+		sev[kg.kind] = len(kindGlyphs) - i
+	}
+	rows := make(map[int][]byte)
+	counts := make(map[int]int)
+	for _, ev := range b.Events {
+		row, ok := rows[ev.Worker]
+		if !ok {
+			row = make([]byte, width)
+			for i := range row {
+				row[i] = ' '
+			}
+			rows[ev.Worker] = row
+			row = rows[ev.Worker]
+		}
+		col := int((ev.TS - t0) * int64(width-1) / span)
+		cur := row[col]
+		best := -1
+		for _, kg := range kindGlyphs {
+			if kg.glyph == cur {
+				best = sev[kg.kind]
+			}
+		}
+		if sev[ev.Kind] > best {
+			g := byte('?')
+			for _, kg := range kindGlyphs {
+				if kg.kind == ev.Kind {
+					g = kg.glyph
+				}
+			}
+			row[col] = g
+		}
+		counts[ev.Worker]++
+	}
+	lanes := make([]int, 0, len(rows))
+	for w := range rows {
+		lanes = append(lanes, w)
+	}
+	sort.Ints(lanes)
+	fmt.Printf("timeline  %s per column\n", relTime(span/int64(width)))
+	for _, w := range lanes {
+		fmt.Printf("  w%-2d |%s| %d ev\n", w, rows[w], counts[w])
+	}
+	var legend []string
+	for _, kg := range kindGlyphs {
+		legend = append(legend, fmt.Sprintf("%c=%s", kg.glyph, kg.label))
+	}
+	fmt.Printf("       %s\n", strings.Join(legend, " "))
+}
+
+func relTime(ns int64) string {
+	return time.Duration(ns).Round(10 * time.Microsecond).String()
+}
+
+// runDiff compares the failing tail of the window against the preceding
+// healthy stretch. Supervised bundles split at supervisor segment-start
+// markers: the last segment is the one that died, the one before it is the
+// baseline. Unsupervised bundles split at the last run-start.
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs.Parse(args)
+	b, path, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if len(b.Events) == 0 {
+		return fmt.Errorf("%s: empty event window", path)
+	}
+
+	// Boundaries of the comparison slices: supervised segment-starts, or the
+	// run-start markers of an unsupervised run.
+	marker := func(ev flight.Event) bool {
+		if b.Run.Supervised {
+			return ev.Kind == flight.EvSup && ev.A0 == 0 // segment-start
+		}
+		return ev.Kind == flight.EvRunStart
+	}
+	var starts []int
+	for i, ev := range b.Events {
+		if marker(ev) {
+			starts = append(starts, i)
+		}
+	}
+	if len(starts) == 0 {
+		starts = []int{0}
+	}
+	fail := b.Events[starts[len(starts)-1]:]
+	var prev []flight.Event
+	if len(starts) >= 2 {
+		prev = b.Events[starts[len(starts)-2]:starts[len(starts)-1]]
+	}
+
+	fmt.Printf("bundle    %s\ncause     %s: %s\n", path, b.Cause.Kind, b.Cause.Error)
+	if prev == nil {
+		fmt.Println("\nno preceding segment in the window; showing the failing one only")
+	} else {
+		fmt.Printf("\nfailing segment: %d events over %s; preceding: %d events over %s\n",
+			len(fail), relTime(spanOf(fail)), len(prev), relTime(spanOf(prev)))
+	}
+	fmt.Printf("\n%-12s %10s %10s %10s\n", "kind", "failing", "previous", "delta")
+	pc, fc := kindTally(prev), kindTally(fail)
+	for k := flight.Kind(0); int(k) < 8; k++ {
+		if fc[k] == 0 && pc[k] == 0 {
+			continue
+		}
+		fmt.Printf("%-12s %10d %10d %+10d\n", k.String(), fc[k], pc[k], fc[k]-pc[k])
+	}
+	fmt.Println("\nfailing segment's final events:")
+	n := 10
+	if n > len(fail) {
+		n = len(fail)
+	}
+	t0 := fail[0].TS
+	for _, ev := range fail[len(fail)-n:] {
+		fmt.Printf("  +%-12s w%d  %s\n", relTime(ev.TS-t0), ev.Worker, ev.Describe())
+	}
+	return nil
+}
+
+func spanOf(evs []flight.Event) int64 {
+	if len(evs) < 2 {
+		return 0
+	}
+	return evs[len(evs)-1].TS - evs[0].TS
+}
+
+func kindTally(evs []flight.Event) map[flight.Kind]int {
+	m := make(map[flight.Kind]int)
+	for _, ev := range evs {
+		m[ev.Kind]++
+	}
+	return m
+}
+
+// runTrace exports the window through the shared Chrome trace exporter: one
+// instant-event track per worker lane plus the decoded description of every
+// event, so a crash window drops into the same Perfetto UI as the live
+// telemetry span traces.
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	out := fs.String("o", "postmortem-trace.json", "output `FILE`")
+	fs.Parse(args)
+	b, path, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	tracks := make(map[int]string)
+	evs := make([]telemetry.ChromeInstant, 0, len(b.Events))
+	for _, ev := range b.Events {
+		tracks[ev.Worker] = "lane-" + strconv.Itoa(ev.Worker)
+		evs = append(evs, telemetry.ChromeInstant{
+			Name: ev.Kind.String(),
+			TID:  ev.Worker,
+			TS:   ev.TS,
+			Args: fmt.Sprintf(`"desc":%s,"seq":%d`, strconv.Quote(ev.Describe()), ev.Seq),
+		})
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	werr := telemetry.WriteChromeEvents(f, "pochoir post-mortem ("+b.Cause.Kind+")", tracks, evs)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Printf("wrote %d events from %s to %s\n", len(evs), filepath.Base(path), *out)
+	return nil
+}

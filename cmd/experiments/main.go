@@ -22,6 +22,10 @@
 //	-run monitor  live-monitoring smoke test: a supervised run scraped over
 //	              HTTP from its own embedded monitor server, with the
 //	              exposition validated and the counters checked monotone
+//	-run flight   black-box post-mortem check: a run killed by an injected
+//	              fault past 90% progress must leave a parseable crash
+//	              bundle attributing the failing zoid, with the panic in
+//	              its recent-event window (render it with cmd/blackbox)
 //	-run all      everything above
 //
 // The telemetry experiment additionally honors -stats (print the full
@@ -51,7 +55,7 @@ import (
 )
 
 var (
-	runFlag   = flag.String("run", "all", "experiment to run (intro, fig3, fig5, fig9, fig10, fig13, mod, coarsen, tune, telemetry, faults, resilience, monitor, all)")
+	runFlag   = flag.String("run", "all", "experiment to run (intro, fig3, fig5, fig9, fig10, fig13, mod, coarsen, tune, telemetry, faults, resilience, monitor, flight, all)")
 	quick     = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	benchName = flag.String("bench", "", "restrict fig3 to one benchmark name (e.g. \"Heat 2p\")")
 	statsFlag = flag.Bool("stats", false, "print the full telemetry stats report (telemetry experiment)")
@@ -76,8 +80,9 @@ func main() {
 		"faults":     runFaults,
 		"resilience": runResilience,
 		"monitor":    runMonitor,
+		"flight":     runFlight,
 	}
-	order := []string{"intro", "fig3", "fig5", "fig9", "fig10", "fig13", "mod", "coarsen", "tune", "telemetry", "faults", "resilience", "monitor"}
+	order := []string{"intro", "fig3", "fig5", "fig9", "fig10", "fig13", "mod", "coarsen", "tune", "telemetry", "faults", "resilience", "monitor", "flight"}
 	name := strings.ToLower(*runFlag)
 	if name == "all" {
 		for _, n := range order {

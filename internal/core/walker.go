@@ -14,16 +14,39 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"sync/atomic"
 
 	"pochoir/internal/faultpoint"
+	"pochoir/internal/flight"
 	"pochoir/internal/metrics"
 	"pochoir/internal/sched"
 	"pochoir/internal/telemetry"
 	"pochoir/internal/zoid"
 )
+
+func init() {
+	// Feed the always-on flight recorder from the two layers it cannot
+	// import directly without hooks: injected faultpoint trips and panics
+	// first captured at scheduler sync points. Both record into the
+	// process-wide default recorder — the black box is per process, not per
+	// run — and both are nil-safe no-ops when POCHOIR_FLIGHT=off.
+	faultpoint.SetObserver(func(site faultpoint.Site, depth int) {
+		code := int64(0)
+		if site == faultpoint.SiteBase {
+			code = 1
+		}
+		flight.Default().Record(flight.EvFault, code, int64(depth), 0)
+	})
+	sched.SetPanicHook(func(pe *sched.PanicError) {
+		if _, ok := pe.Value.(*KernelPanicError); ok {
+			return // base() already recorded it with zoid attribution
+		}
+		flight.Default().Record(flight.EvPanic, 0, 0, flight.PanicSched)
+	})
+}
 
 // KernelPanicError reports a panic recovered from a base-case kernel. The
 // walker converts it (and any other panic reaching Run) into an ordinary
@@ -139,6 +162,14 @@ type Walker struct {
 	// monitor can publish percent-complete and an ETA for the run.
 	Prog *metrics.Progress
 
+	// Flight is the black-box flight recorder the walk appends to: run
+	// start/end, every cut decision, every base-case entry, cancellation
+	// and panic markers. Unlike Rec and Met it is expected to be non-nil —
+	// pochoir defaults it to the process-wide flight.Default() — but a nil
+	// Flight is safe (Record on nil is a no-op), which is also how
+	// POCHOIR_FLIGHT=off disables recording everywhere at once.
+	Flight *flight.Recorder
+
 	// engPoints is Met.EnginePoints[Algorithm], resolved once per run so
 	// the base case indexes no array on the hot path; metObs is the
 	// pre-boxed sched observer, allocated once per run rather than once
@@ -222,6 +253,22 @@ func (w *Walker) RunContext(ctx context.Context, t0, t1 int) (err error) {
 	}
 	z := zoid.Box(t0, t1, w.Sizes[:w.NDims])
 
+	// Registered before every other defer so it runs last (LIFO) and sees
+	// the final error — after the watcher promoted cancellation and the
+	// recover below converted a panic.
+	w.Flight.Record(flight.EvRunStart, int64(w.Algorithm), int64(t0), int64(t1))
+	defer func() {
+		outcome := int64(0)
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			outcome = 2
+		default:
+			outcome = 1
+		}
+		w.Flight.Record(flight.EvRunEnd, outcome, 0, 0)
+	}()
+
 	w.engPoints, w.metObs = nil, nil
 	if m := w.Met; m != nil {
 		m.RunsStarted.Inc()
@@ -244,6 +291,7 @@ func (w *Walker) RunContext(ctx context.Context, t0, t1 int) (err error) {
 			select {
 			case <-done:
 				flag.Store(true)
+				w.Flight.Record(flight.EvCancel, 0, 0, 0)
 			case <-stop:
 			}
 		}()
@@ -343,6 +391,9 @@ func panicToError(r any) error {
 		}
 		return pe
 	default:
+		// A panic outside any base case on the calling goroutine never
+		// crossed a sync point, so the scheduler hook did not see it.
+		flight.Default().Record(flight.EvPanic, 0, 0, flight.PanicSched)
 		return &sched.PanicError{Value: r, Stack: debug.Stack()}
 	}
 }
@@ -442,6 +493,7 @@ func (w *Walker) walk(z zoid.Zoid, sh *telemetry.Shard, depth int) {
 		if m := w.Met; m != nil {
 			m.TimeCuts.Inc()
 		}
+		w.Flight.Record(flight.EvCut, flight.CutTime, int64(h), 0)
 		span := -1
 		if sh != nil {
 			span = sh.TimeCut(h)
@@ -463,6 +515,7 @@ func (w *Walker) hyperspaceCut(z zoid.Zoid, cuts []zoid.Cut, sh *telemetry.Shard
 	if m := w.Met; m != nil {
 		m.HyperCuts.Inc()
 	}
+	w.Flight.Record(flight.EvCut, flight.CutHyper, int64(lv.NumCut), int64(lv.Total()))
 	span := -1
 	if sh != nil {
 		span = sh.HyperCut(lv.NumCut, lv.Total(), len(lv.Zoids))
@@ -483,6 +536,11 @@ func (w *Walker) spaceCutSerialDims(z zoid.Zoid, c zoid.Cut, sh *telemetry.Shard
 	if m := w.Met; m != nil {
 		m.SpaceCuts.Inc()
 	}
+	cutCode := int64(flight.CutSpace)
+	if c.Kind == zoid.CutCircle {
+		cutCode = flight.CutCircle
+	}
+	w.Flight.Record(flight.EvCut, cutCode, int64(c.Dim), 0)
 	span := -1
 	if sh != nil {
 		span = sh.SpaceCut(c.Dim, c.Kind == zoid.CutCircle)
@@ -609,6 +667,8 @@ func (w *Walker) base(z zoid.Zoid, sh *telemetry.Shard, depth int) {
 			case *KernelPanicError, *sched.PanicError:
 				panic(r) // already located by a nested region
 			}
+			w.Flight.Record(flight.EvPanic,
+				flight.PackPair(z.T0, z.T1), flight.PackPair(z.Lo[0], z.Hi[0]), flight.PanicBase)
 			panic(&KernelPanicError{Value: r, Stack: debug.Stack(), Zoid: z})
 		}
 	}()
@@ -619,6 +679,14 @@ func (w *Walker) base(z zoid.Zoid, sh *telemetry.Shard, depth int) {
 		faultpoint.Visit(faultpoint.SiteBase, depth)
 	}
 	interior := w.Interior != nil && w.IsInterior(z)
+	if fr := w.Flight; fr != nil {
+		bit := int64(0)
+		if interior {
+			bit = 1
+		}
+		fr.Record(flight.EvBase,
+			flight.PackPair(z.T0, z.T1), flight.PackPair(z.Lo[0], z.Hi[0]), z.Volume()<<1|bit)
+	}
 	if m := w.Met; m != nil {
 		// One volume computation and a handful of atomic adds per base
 		// case, amortized over the zoid's whole point set.

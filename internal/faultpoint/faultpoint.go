@@ -137,6 +137,23 @@ var (
 // Visit on it so disarmed binaries pay one atomic load per site.
 func Armed() bool { return armed.Load() != 0 }
 
+// observer, when set, is notified of every firing failpoint just before its
+// action runs; the flight recorder uses it to stamp injected faults into the
+// black-box event stream. An atomic pointer so Visit never takes the registry
+// lock around the callback.
+var observer atomic.Pointer[func(site Site, depth int)]
+
+// SetObserver installs (or, with nil, removes) the fired-failpoint callback.
+// The callback runs on the visiting goroutine, after the firing decision and
+// before the action (panic or sleep), so it must not itself panic or block.
+func SetObserver(fn func(site Site, depth int)) {
+	if fn == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&fn)
+}
+
 // Arm installs (or replaces) the failpoint at site.
 func Arm(site Site, spec Spec) {
 	mu.Lock()
@@ -216,6 +233,9 @@ func Visit(site Site, depth int) {
 	}
 	mu.Unlock()
 
+	if ob := observer.Load(); ob != nil {
+		(*ob)(site, depth)
+	}
 	switch spec.Kind {
 	case KindSleep:
 		time.Sleep(spec.Sleep)

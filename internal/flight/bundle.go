@@ -1,0 +1,275 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Schema identifies the post-mortem bundle format. Consumers (cmd/blackbox,
+// dashboards) must check it before interpreting the rest.
+const Schema = "pochoir-postmortem/v1"
+
+// DirEnvVar overrides the diagnostics directory bundles are written to.
+// The value "off" disables writing (the in-memory last incident is still
+// recorded); empty selects DefaultDir.
+const DirEnvVar = "POCHOIR_POSTMORTEM_DIR"
+
+// maxBundles bounds how many bundles the diagnostics directory retains;
+// older ones are pruned after each write so unattended services never fill
+// a disk with crash dumps.
+const maxBundles = 16
+
+// ZoidInfo is the JSON view of the space-time zoid attributed to a failure.
+type ZoidInfo struct {
+	T0 int   `json:"t0"`
+	T1 int   `json:"t1"`
+	Lo []int `json:"lo"`
+	Hi []int `json:"hi"`
+}
+
+// Cause classifies the terminal failure that triggered the bundle.
+type Cause struct {
+	// Kind is one of kernel-panic, engine-panic, verify-mismatch,
+	// canceled, deadline, poisoned, or error.
+	Kind string `json:"kind"`
+	// Error is the terminal error string.
+	Error string `json:"error"`
+	// Zoid is the base-case zoid a kernel panic was executing, when known.
+	Zoid *ZoidInfo `json:"zoid,omitempty"`
+}
+
+// HostInfo records where the incident happened.
+type HostInfo struct {
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	NumCPU    int    `json:"num_cpu"`
+	PID       int    `json:"pid"`
+	Hostname  string `json:"hostname,omitempty"`
+	// Commit is the VCS revision baked into the binary, when built from a
+	// checkout ("(devel)" builds report it via debug.ReadBuildInfo).
+	Commit string `json:"commit,omitempty"`
+}
+
+// CollectHost fills a HostInfo for this process.
+func CollectHost() HostInfo {
+	h := HostInfo{
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		PID:       os.Getpid(),
+	}
+	if name, err := os.Hostname(); err == nil {
+		h.Hostname = name
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				h.Commit = s.Value
+				break
+			}
+		}
+	}
+	return h
+}
+
+// RunInfo records what the failing run was computing.
+type RunInfo struct {
+	NDims      int    `json:"ndims"`
+	Sizes      []int  `json:"sizes"`
+	StepsRun   int    `json:"steps_run"`
+	Algorithm  string `json:"algorithm"`
+	Supervised bool   `json:"supervised"`
+}
+
+// Bundle is the schema-versioned post-mortem artifact written on terminal
+// failures: the merged time-ordered recent event window plus every
+// diagnostic section the failing layer could contribute. Sections owned by
+// other packages (telemetry stats, the metrics snapshot, the supervisor
+// report with its checkpoint/segment provenance) are embedded as raw JSON so
+// flight stays dependency-free.
+type Bundle struct {
+	Schema    string    `json:"schema"`
+	WrittenAt time.Time `json:"written_at"`
+	Cause     Cause     `json:"cause"`
+	Host      HostInfo  `json:"host"`
+	Run       RunInfo   `json:"run"`
+
+	// TotalEvents counts events ever recorded (the window is the last
+	// len(Events) of them); Lanes is the worker-lane count.
+	TotalEvents uint64  `json:"total_events"`
+	Lanes       int     `json:"lanes"`
+	Events      []Event `json:"events"`
+
+	// RunStats is the telemetry summary of the failing run, when telemetry
+	// was armed (telemetry.Summary JSON).
+	RunStats json.RawMessage `json:"run_stats,omitempty"`
+	// Metrics is the metrics registry snapshot, when metrics were armed
+	// (metrics.Status JSON).
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+	// Supervisor is the resilience report of a supervised run — segments,
+	// attempts, checkpoints, restores, and the ordered SupEvent decision
+	// log (resilience.Report JSON).
+	Supervisor json.RawMessage `json:"supervisor,omitempty"`
+
+	// Goroutines is a full goroutine dump captured at incident time.
+	Goroutines string `json:"goroutines,omitempty"`
+}
+
+// CaptureGoroutines returns a bounded dump of every goroutine's stack.
+func CaptureGoroutines() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	return string(buf[:n])
+}
+
+// ReadBundle loads and validates a bundle from path.
+func ReadBundle(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("flight: %s: %w", path, err)
+	}
+	if b.Schema != Schema {
+		return nil, fmt.Errorf("flight: %s: schema %q, want %q", path, b.Schema, Schema)
+	}
+	return &b, nil
+}
+
+// Incident is the in-memory record of the most recent bundle, served live at
+// /debug/flightz by the monitor server.
+type Incident struct {
+	Time   time.Time `json:"time"`
+	Cause  Cause     `json:"cause"`
+	Path   string    `json:"bundle_path,omitempty"`
+	Bundle *Bundle   `json:"-"`
+}
+
+// IncidentSummary is the compact /statusz view of the last incident.
+type IncidentSummary struct {
+	Time  time.Time `json:"time"`
+	Cause string    `json:"cause"`
+	Error string    `json:"error,omitempty"`
+	Path  string    `json:"bundle_path,omitempty"`
+}
+
+var (
+	incidentMu   sync.Mutex
+	lastIncident *Incident
+)
+
+// LastIncident returns the most recent incident of this process, or nil.
+func LastIncident() *Incident {
+	incidentMu.Lock()
+	defer incidentMu.Unlock()
+	return lastIncident
+}
+
+// LastIncidentSummary returns the compact view of the last incident, or nil.
+func LastIncidentSummary() *IncidentSummary {
+	inc := LastIncident()
+	if inc == nil {
+		return nil
+	}
+	return &IncidentSummary{Time: inc.Time, Cause: inc.Cause.Kind, Error: inc.Cause.Error, Path: inc.Path}
+}
+
+// ResetLastIncident clears the last-incident record (tests).
+func ResetLastIncident() {
+	incidentMu.Lock()
+	lastIncident = nil
+	incidentMu.Unlock()
+}
+
+// DefaultDir returns the diagnostics directory: DirEnvVar when set,
+// otherwise a pochoir-postmortem directory under the OS temp dir.
+func DefaultDir() string {
+	if d := os.Getenv(DirEnvVar); d != "" {
+		return d
+	}
+	return filepath.Join(os.TempDir(), "pochoir-postmortem")
+}
+
+// ReportIncident finalizes and publishes a bundle: stamps schema and time,
+// records it as the process's last incident, and — unless writing is
+// disabled with POCHOIR_POSTMORTEM_DIR=off — writes it to dir (empty
+// selects DefaultDir), pruning old bundles beyond the retention cap. The
+// write path is returned; a write error never masks the incident, which is
+// still published in memory.
+func ReportIncident(b *Bundle, dir string) (string, error) {
+	b.Schema = Schema
+	if b.WrittenAt.IsZero() {
+		b.WrittenAt = time.Now()
+	}
+	if dir == "" {
+		dir = DefaultDir()
+	}
+
+	incidentMu.Lock()
+	defer incidentMu.Unlock()
+
+	inc := &Incident{Time: b.WrittenAt, Cause: b.Cause, Bundle: b}
+	lastIncident = inc
+	if dir == "off" {
+		return "", nil
+	}
+	path, err := writeBundleLocked(b, dir)
+	if err != nil {
+		return "", err
+	}
+	inc.Path = path
+	return path, nil
+}
+
+// writeBundleLocked writes the bundle under a sortable timestamped name and
+// prunes the directory to the retention cap. Caller holds incidentMu, which
+// serializes concurrent failing runs.
+func writeBundleLocked(b *Bundle, dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("flight: %w", err)
+	}
+	name := fmt.Sprintf("postmortem-%020d-%d.json", b.WrittenAt.UnixNano(), os.Getpid())
+	path := filepath.Join(dir, name)
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("flight: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("flight: %w", err)
+	}
+	pruneLocked(dir)
+	return path, nil
+}
+
+// pruneLocked removes the oldest postmortem bundles beyond maxBundles. Names
+// embed a zero-padded UnixNano, so lexical order is chronological.
+func pruneLocked(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); !e.IsDir() && len(n) > 11 && n[:11] == "postmortem-" && filepath.Ext(n) == ".json" {
+			names = append(names, n)
+		}
+	}
+	if len(names) <= maxBundles {
+		return
+	}
+	sort.Strings(names)
+	for _, n := range names[:len(names)-maxBundles] {
+		_ = os.Remove(filepath.Join(dir, n))
+	}
+}

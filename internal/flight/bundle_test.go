@@ -1,0 +1,227 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testBundle(kind string) *Bundle {
+	return &Bundle{
+		Cause: Cause{Kind: kind, Error: "boom", Zoid: &ZoidInfo{T0: 1, T1: 3, Lo: []int{0}, Hi: []int{64}}},
+		Host:  CollectHost(),
+		Run:   RunInfo{NDims: 1, Sizes: []int{64}, StepsRun: 10, Algorithm: "TRAP"},
+		Events: []Event{
+			{TS: 1, Kind: EvRunStart, A0: 0, A1: 0, A2: 10},
+			{TS: 2, Kind: EvBase, A0: PackPair(0, 2), A1: PackPair(0, 64), A2: 128 << 1},
+			{TS: 3, Kind: EvPanic, A0: PackPair(0, 2), A1: PackPair(0, 64), A2: PanicBase},
+		},
+		TotalEvents: 3,
+		Lanes:       defaultShards,
+		RunStats:    json.RawMessage(`{"base_points":640}`),
+		Goroutines:  "goroutine 1 [running]:\n",
+	}
+}
+
+func TestReportIncidentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ResetLastIncident()
+	path, err := ReportIncident(testBundle("kernel-panic"), dir)
+	if err != nil {
+		t.Fatalf("ReportIncident: %v", err)
+	}
+	if filepath.Dir(path) != dir {
+		t.Fatalf("bundle written to %q, want under %q", path, dir)
+	}
+	b, err := ReadBundle(path)
+	if err != nil {
+		t.Fatalf("ReadBundle: %v", err)
+	}
+	if b.Schema != Schema {
+		t.Errorf("schema = %q, want %q", b.Schema, Schema)
+	}
+	if b.Cause.Kind != "kernel-panic" || b.Cause.Error != "boom" {
+		t.Errorf("cause = %+v", b.Cause)
+	}
+	if b.Cause.Zoid == nil || b.Cause.Zoid.T1 != 3 {
+		t.Errorf("zoid = %+v", b.Cause.Zoid)
+	}
+	if len(b.Events) != 3 || b.Events[2].Kind != EvPanic {
+		t.Errorf("events = %+v", b.Events)
+	}
+	var stats struct {
+		BasePoints int `json:"base_points"`
+	}
+	if err := json.Unmarshal(b.RunStats, &stats); err != nil || stats.BasePoints != 640 {
+		t.Errorf("run_stats = %s (err %v)", b.RunStats, err)
+	}
+	if b.Host.GoVersion == "" || b.Host.NumCPU <= 0 {
+		t.Errorf("host = %+v", b.Host)
+	}
+
+	inc := LastIncident()
+	if inc == nil || inc.Path != path || inc.Cause.Kind != "kernel-panic" {
+		t.Errorf("LastIncident = %+v", inc)
+	}
+	sum := LastIncidentSummary()
+	if sum == nil || sum.Cause != "kernel-panic" || sum.Error != "boom" || sum.Path != path {
+		t.Errorf("LastIncidentSummary = %+v", sum)
+	}
+	ResetLastIncident()
+	if LastIncident() != nil || LastIncidentSummary() != nil {
+		t.Error("ResetLastIncident left an incident behind")
+	}
+}
+
+func TestReportIncidentOff(t *testing.T) {
+	ResetLastIncident()
+	path, err := ReportIncident(testBundle("error"), "off")
+	if err != nil {
+		t.Fatalf("ReportIncident(off): %v", err)
+	}
+	if path != "" {
+		t.Errorf("path = %q, want empty when writing is off", path)
+	}
+	inc := LastIncident()
+	if inc == nil || inc.Cause.Kind != "error" || inc.Path != "" {
+		t.Errorf("incident must still publish in memory: %+v", inc)
+	}
+	ResetLastIncident()
+}
+
+func TestReadBundleRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"pochoir-postmortem/v999"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBundle(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("ReadBundle on wrong schema: err = %v", err)
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBundle(path); err == nil {
+		t.Error("ReadBundle accepted malformed JSON")
+	}
+}
+
+func TestRetentionPrunesOldBundles(t *testing.T) {
+	dir := t.TempDir()
+	ResetLastIncident()
+	defer ResetLastIncident()
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < maxBundles+5; i++ {
+		b := testBundle("error")
+		b.WrittenAt = base.Add(time.Duration(i) * time.Second)
+		if _, err := ReportIncident(b, dir); err != nil {
+			t.Fatalf("bundle %d: %v", i, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != maxBundles {
+		t.Fatalf("retained %d bundles, want %d", len(entries), maxBundles)
+	}
+	// The survivors must be the newest ones: their embedded timestamps all
+	// land in the last maxBundles seconds of the sequence.
+	for _, e := range entries {
+		b, err := ReadBundle(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if b.WrittenAt.Before(base.Add(5 * time.Second)) {
+			t.Errorf("%s survived pruning but is among the oldest (%v)", e.Name(), b.WrittenAt)
+		}
+	}
+	// Unrelated files are never pruned.
+	keep := filepath.Join(dir, "notes.txt")
+	if err := os.WriteFile(keep, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReportIncident(testBundle("error"), dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Errorf("pruning removed an unrelated file: %v", err)
+	}
+}
+
+func TestDefaultDirEnvOverride(t *testing.T) {
+	t.Setenv(DirEnvVar, "/some/where")
+	if got := DefaultDir(); got != "/some/where" {
+		t.Errorf("DefaultDir with env = %q", got)
+	}
+	t.Setenv(DirEnvVar, "")
+	want := filepath.Join(os.TempDir(), "pochoir-postmortem")
+	if got := DefaultDir(); got != want {
+		t.Errorf("DefaultDir = %q, want %q", got, want)
+	}
+}
+
+func TestBundleJSONStableFieldNames(t *testing.T) {
+	data, err := json.Marshal(testBundle("deadline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"schema"`, `"written_at"`, `"cause"`, `"kind"`, `"error"`, `"zoid"`,
+		`"host"`, `"go_version"`, `"run"`, `"ndims"`, `"steps_run"`,
+		`"total_events"`, `"lanes"`, `"events"`, `"ts_ns"`, `"worker"`,
+		`"run_stats"`, `"goroutines"`,
+	} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("bundle JSON missing field %s", field)
+		}
+	}
+}
+
+func TestConcurrentReportIncident(t *testing.T) {
+	dir := t.TempDir()
+	ResetLastIncident()
+	defer ResetLastIncident()
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			b := testBundle("error")
+			b.WrittenAt = time.Now().Add(time.Duration(i) * time.Millisecond)
+			_, err := ReportIncident(b, dir)
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent ReportIncident: %v", err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("wrote %d bundles, want 4: %v", len(entries), names)
+	}
+	if LastIncident() == nil {
+		t.Fatal("no last incident after concurrent reports")
+	}
+}
+
+func ExampleReadBundle() {
+	dir, _ := os.MkdirTemp("", "flight-example")
+	defer os.RemoveAll(dir)
+	b := &Bundle{Cause: Cause{Kind: "kernel-panic", Error: "index out of range"}}
+	path, _ := ReportIncident(b, dir)
+	loaded, _ := ReadBundle(path)
+	fmt.Println(loaded.Schema, loaded.Cause.Kind)
+	// Output: pochoir-postmortem/v1 kernel-panic
+}

@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+
+	"pochoir/internal/flight"
 )
 
 // WritePrometheus renders every registered metric in the Prometheus text
@@ -93,14 +95,16 @@ type HistogramBucket struct {
 }
 
 // Status is the /statusz JSON snapshot: process vitals, every registered
-// metric, and the progress set.
+// metric, the progress set, and — after a failed run — a summary of the
+// last post-mortem incident.
 type Status struct {
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	GoVersion     string         `json:"go_version"`
-	GOMAXPROCS    int            `json:"gomaxprocs"`
-	NumGoroutine  int            `json:"num_goroutine"`
-	Metrics       []MetricStatus `json:"metrics"`
-	Progress      []ProgressStat `json:"progress,omitempty"`
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	GoVersion     string                  `json:"go_version"`
+	GOMAXPROCS    int                     `json:"gomaxprocs"`
+	NumGoroutine  int                     `json:"num_goroutine"`
+	LastIncident  *flight.IncidentSummary `json:"last_incident,omitempty"`
+	Metrics       []MetricStatus          `json:"metrics"`
+	Progress      []ProgressStat          `json:"progress,omitempty"`
 }
 
 // Snapshot builds the Status view of the registry.
@@ -110,6 +114,7 @@ func (r *Registry) Snapshot() Status {
 		GoVersion:     runtime.Version(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		NumGoroutine:  runtime.NumGoroutine(),
+		LastIncident:  flight.LastIncidentSummary(),
 		Progress:      r.ProgressSnapshot(),
 	}
 	for _, f := range r.snapshotFamilies() {

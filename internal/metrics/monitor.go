@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
@@ -8,6 +9,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"pochoir/internal/flight"
 )
 
 // NewHandler builds the monitor's HTTP mux for a registry:
@@ -15,6 +18,7 @@ import (
 //	/metrics        Prometheus text exposition (WritePrometheus)
 //	/statusz        JSON snapshot of every metric + process vitals
 //	/progressz      JSON progress of in-flight and recent runs
+//	/debug/flightz  JSON post-mortem bundle of the last incident
 //	/debug/pprof/*  the standard runtime profiles
 //	/debug/vars     expvar (runtime memstats and any user vars)
 //	/               a plain-text index of the above
@@ -35,6 +39,24 @@ func NewHandler(r *Registry) http.Handler {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = r.WriteProgressz(w)
 	})
+	mux.HandleFunc("/debug/flightz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		inc := flight.LastIncident()
+		if inc == nil {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprintln(w, `{"error": "no incident recorded"}`)
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// Serve the full bundle when it is still in memory; the summary
+		// otherwise (a fresh process after a crash loads nothing).
+		if inc.Bundle != nil {
+			_ = enc.Encode(inc.Bundle)
+			return
+		}
+		_ = enc.Encode(inc)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -51,6 +73,7 @@ func NewHandler(r *Registry) http.Handler {
 		fmt.Fprintln(w, "/metrics        Prometheus text exposition")
 		fmt.Fprintln(w, "/statusz        JSON metric snapshot")
 		fmt.Fprintln(w, "/progressz      JSON run progress + ETA")
+		fmt.Fprintln(w, "/debug/flightz  last post-mortem incident")
 		fmt.Fprintln(w, "/debug/pprof/   runtime profiles")
 		fmt.Fprintln(w, "/debug/vars     expvar")
 	})

@@ -33,6 +33,7 @@ import (
 	"math/rand"
 	"time"
 
+	"pochoir/internal/flight"
 	"pochoir/internal/metrics"
 	"pochoir/internal/telemetry"
 )
@@ -167,6 +168,11 @@ type Policy struct {
 	// metrics registry (retries, degradations, watchdog trips, verify
 	// outcomes, ...), so a monitor sees a supervised run's health mid-run.
 	Metrics *metrics.Registry
+	// Flight, when non-nil, stamps every decision into the black-box flight
+	// recorder, so a post-mortem bundle interleaves supervisor decisions
+	// with the engine events around them (pochoir defaults it to the
+	// process-wide recorder).
+	Flight *flight.Recorder
 }
 
 // WithDefaults returns p with every unset knob replaced by its default.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"pochoir/internal/flight"
 	"pochoir/internal/metrics"
 	"pochoir/internal/telemetry"
 )
@@ -61,6 +62,7 @@ func Supervise(ctx context.Context, d Driver, p Policy) (*Report, error) {
 		if p.Telemetry != nil {
 			p.Telemetry.Supervisor(ev) // the recorder stamps its copy itself
 		}
+		p.Flight.Record(flight.EvSup, int64(ev.Kind), int64(ev.Segment), int64(ev.Attempt))
 		ev.TS = p.Clock.Now().Sub(start).Nanoseconds()
 		rep.Events = append(rep.Events, ev)
 	}

@@ -46,6 +46,24 @@ func (e *PanicError) Unwrap() error {
 	return nil
 }
 
+// panicHook, when set, is notified each time a task's panic is first
+// captured at a sync point — once per real panic, not once per sync point it
+// crosses (nested joins re-raise the same *PanicError, which does not
+// re-notify). The flight recorder uses it to stamp scheduler-captured panics
+// into the black-box event stream.
+var panicHook atomic.Pointer[func(*PanicError)]
+
+// SetPanicHook installs (or, with nil, removes) the captured-panic callback.
+// The callback runs on the panicking goroutine while the region's siblings
+// drain, so it must not itself panic or block.
+func SetPanicHook(fn func(*PanicError)) {
+	if fn == nil {
+		panicHook.Store(nil)
+		return
+	}
+	panicHook.Store(&fn)
+}
+
 // panicSlot collects the first panic of a fork-join region.
 type panicSlot struct {
 	p atomic.Pointer[PanicError]
@@ -63,7 +81,11 @@ func (s *panicSlot) capture() {
 		s.p.CompareAndSwap(nil, pe)
 		return
 	}
-	s.p.CompareAndSwap(nil, &PanicError{Value: r, Stack: debug.Stack()})
+	pe := &PanicError{Value: r, Stack: debug.Stack()}
+	if hook := panicHook.Load(); hook != nil {
+		(*hook)(pe)
+	}
+	s.p.CompareAndSwap(nil, pe)
 }
 
 // rethrow re-raises the captured panic, if any, after the join.

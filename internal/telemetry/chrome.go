@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -99,6 +100,55 @@ func supArgs(ev SupEvent) string {
 		fmt.Fprintf(&sb, `,"err":%s`, strconv.Quote(ev.Err))
 	}
 	return sb.String()
+}
+
+// ChromeInstant is one instant event of a generic Chrome trace: a named
+// marker on a track at a point in time. Args, when non-empty, is the
+// pre-rendered JSON body of the args object (no surrounding braces).
+type ChromeInstant struct {
+	Name string
+	TID  int   // track the event renders on
+	TS   int64 // nanoseconds since the trace's epoch
+	Args string
+}
+
+// WriteChromeEvents renders an arbitrary list of instant events in the same
+// Chrome trace-event format as WriteChromeTrace, one named thread track per
+// entry of tracks (tid → display name). It is the exporter behind
+// cmd/blackbox's trace subcommand: post-mortem flight-recorder windows
+// become per-worker instant-event lanes loadable in chrome://tracing and
+// Perfetto alongside the span traces the live recorder writes.
+func WriteChromeEvents(w io.Writer, process string, tracks map[int]string, evs []ChromeInstant) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	emit(`{"name":"process_name","ph":"M","pid":1,"args":{"name":%s}}`, strconv.Quote(process))
+	tids := make([]int, 0, len(tracks))
+	for tid := range tracks {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		emit(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
+			tid, strconv.Quote(tracks[tid]))
+	}
+	for _, ev := range evs {
+		emit(`{"name":%s,"cat":"flight","ph":"i","s":"t","pid":1,"tid":%d,"ts":%.3f,"args":{%s}}`,
+			strconv.Quote(ev.Name), ev.TID, float64(ev.TS)/1e3, ev.Args)
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 // WriteChromeTraceFile writes the Chrome trace to path.

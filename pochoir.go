@@ -46,6 +46,7 @@ import (
 	"fmt"
 
 	"pochoir/internal/core"
+	"pochoir/internal/flight"
 	"pochoir/internal/grid"
 	"pochoir/internal/metrics"
 	"pochoir/internal/sched"
@@ -148,6 +149,12 @@ type Stencil[T any] struct {
 	metReg     *MetricsRegistry
 	metSet     *metrics.RunMetrics
 	activeProg *metrics.Progress
+	// flightRec caches the stencil-private recorder a positive
+	// Options.FlightRing creates (see flightRecorder in postmortem.go);
+	// inSupervise suppresses per-attempt post-mortem bundles inside
+	// RunSupervised, which bundles once on the terminal error instead.
+	flightRec   *flight.Recorder
+	inSupervise bool
 	// poisoned latches after a failed or cancelled run: the arrays hold a
 	// partially updated state, so further runs are refused with
 	// ErrPoisoned until Reset or Restore re-establishes consistency.
@@ -187,6 +194,21 @@ type Options struct {
 	// Nil — the default — costs one pointer check per instrumentation
 	// point, like Telemetry.
 	Metrics *MetricsRegistry
+	// FlightRecorder overrides the black-box flight recorder this stencil
+	// records into. Nil — the default — uses the process-wide recorder,
+	// which is always on (POCHOIR_FLIGHT=off disables it; the
+	// POCHOIR_FLIGHT_RING variable resizes it). Unlike Telemetry and
+	// Metrics the recorder needs no arming: every run appends its recent
+	// events, and any terminal failure automatically freezes the rings and
+	// writes a pochoir-postmortem/v1 bundle (see PostmortemBundle).
+	FlightRecorder *FlightRecorder
+	// FlightRing, when positive, sizes a stencil-private flight recorder
+	// (events per worker lane, rounded up to a power of two) used instead
+	// of the process-wide one. Ignored when FlightRecorder is set.
+	FlightRing int
+	// NoFlightRecorder disables black-box recording and automatic
+	// post-mortem bundles for this stencil only.
+	NoFlightRecorder bool
 }
 
 // New creates a stencil object for the given shape.
@@ -200,7 +222,10 @@ func NewWithOptions[T any](sh *Shape, opts Options) *Stencil[T] {
 }
 
 // SetOptions replaces the execution options.
-func (s *Stencil[T]) SetOptions(opts Options) { s.opts = opts }
+func (s *Stencil[T]) SetOptions(opts Options) {
+	s.opts = opts
+	s.flightRec = nil // re-resolve a FlightRing-sized recorder next run
+}
 
 // Shape returns the stencil's shape.
 func (s *Stencil[T]) Shape() *Shape { return s.shape }
@@ -275,6 +300,7 @@ func (s *Stencil[T]) newWalker() (*core.Walker, error) {
 		Algorithm: s.opts.Algorithm,
 		Grain:     s.opts.Grain,
 		Rec:       s.opts.Telemetry,
+		Flight:    s.flightRecorder(),
 	}
 	for i := 0; i < d; i++ {
 		w.Slopes[i] = s.shape.Slope(i)
@@ -503,6 +529,13 @@ func (s *Stencil[T]) runWalker(ctx context.Context, w *core.Walker, steps int) e
 	}
 	if err != nil {
 		s.poisoned = true
+		// Terminal for an unsupervised run: freeze the black box and write
+		// the post-mortem bundle. Under RunSupervised a failed segment is
+		// not terminal — the supervisor retries — so bundling waits for the
+		// supervisor's own give-up.
+		if !s.inSupervise {
+			s.writePostmortem(err, nil)
+		}
 		return err
 	}
 	s.stepsRun += steps

@@ -80,6 +80,9 @@ func (s *Stencil[T]) RunSupervised(ctx context.Context, steps int, kern Kernel, 
 	if p.Metrics == nil {
 		p.Metrics = s.opts.Metrics
 	}
+	if p.Flight == nil {
+		p.Flight = s.flightRecorder()
+	}
 	if reg := s.opts.Metrics; reg != nil {
 		// One progress estimator spans the whole supervised run: segments
 		// feed it through runWalker, retries of a restored segment re-add
@@ -119,7 +122,17 @@ func (s *Stencil[T]) RunSupervised(ctx context.Context, steps int, kern Kernel, 
 			return s.shadowVerify(ctx, exec, vp, p.Rand, cpStart, segIdx, n)
 		}
 	}
-	return resilience.Supervise(ctx, d, p)
+	// Per-attempt failures are the supervisor's to retry, so runWalker must
+	// not bundle them; only the supervisor's terminal error — give-up,
+	// cancellation, a failed checkpoint/restore — freezes the black box and
+	// writes the post-mortem bundle, supervisor decision log included.
+	s.inSupervise = true
+	defer func() { s.inSupervise = false }()
+	rep, err = resilience.Supervise(ctx, d, p)
+	if err != nil {
+		s.writePostmortem(err, rep)
+	}
+	return rep, err
 }
 
 // runSegment executes n time steps with the engine the supervisor selected.
