@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench verify fuzz-smoke soak monitor-smoke bench-lab flight-smoke
+.PHONY: build vet test race bench verify fuzz-smoke soak crash-soak monitor-smoke bench-lab flight-smoke
 
 build:
 	$(GO) build ./...
@@ -24,8 +24,8 @@ test:
 # (segment retries, degradation ladder, shadow verification) under the
 # detector.
 race:
-	$(GO) test -race ./internal/core ./internal/sched ./internal/telemetry ./internal/loops ./internal/faultpoint ./internal/resilience ./internal/metrics ./internal/flight
-	$(GO) test -race -run 'Panic|Cancel|Poison|Checkpoint|Restore|Fault|RegisterArray|Supervised|LoopsEngine|Monitor|Progress|Bundle|Recorder|Incident' .
+	$(GO) test -race ./internal/core ./internal/sched ./internal/telemetry ./internal/loops ./internal/faultpoint ./internal/resilience ./internal/metrics ./internal/flight ./internal/wire
+	$(GO) test -race -run 'Panic|Cancel|Poison|Checkpoint|Restore|Fault|RegisterArray|Supervised|LoopsEngine|Monitor|Progress|Bundle|Recorder|Incident|Resume|Durable' .
 
 # soak runs the supervised-run soak with probabilistic faults armed at the
 # walker's base and cut sites: every visit rolls the dice, and the
@@ -35,10 +35,24 @@ soak:
 	POCHOIR_FAULTPOINTS='walker/base=p:0.01' $(GO) test -race -count 3 -run TestSupervisedSoakEnvFaults -v .
 	POCHOIR_FAULTPOINTS='walker/cut=p:0.02' $(GO) test -race -count 3 -run TestSupervisedSoakEnvFaults -v .
 
-# fuzz-smoke gives the DSL fuzz target a short budget; CI runs it on every
-# push, and `go test` alone still replays the seed corpus.
+# fuzz-smoke gives each fuzz target a short budget; CI runs them on every
+# push, and `go test` alone still replays the seed corpora. FuzzWireDecode
+# feeds arbitrary bytes to the durable-checkpoint decoder, which must error —
+# never panic, and never allocate beyond the input's actual size.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzDSL -fuzztime=30s -run '^FuzzDSL$$' ./internal/compiler
+	$(GO) test -fuzz=FuzzWireDecode -fuzztime=30s -run '^FuzzWireDecode$$' ./internal/wire
+
+# crash-soak hammers the durable-checkpoint crash path end to end: each
+# iteration re-execs the test binary as a child running a spilling supervised
+# run, SIGKILLs it at a random point of its journal progress, resumes from
+# the journal in the parent process, and requires the final grid to be
+# bit-identical to an uninterrupted run — all under the race detector.
+# Journals are kept in ./crash-soak-out on failure so CI can upload them.
+crash-soak:
+	rm -rf crash-soak-out && mkdir -p crash-soak-out
+	POCHOIR_CRASH_SOAK_DIR=$(CURDIR)/crash-soak-out \
+		$(GO) test -race -count 8 -run '^TestCrashRecoveryKillHarness$$' -v .
 
 # bench checks the telemetry acceptance criterion: Heat2D/NoTelemetry
 # (nil-recorder fast path) must match seed throughput, and Heat2D/Telemetry

@@ -152,8 +152,10 @@ func BenchmarkHeat2DFlightRecorder(b *testing.B) {
 // on the Heat 2D workload. NoCheckpoint is the happy path — one segment, no
 // state copies, supervisor bookkeeping only — and is the 5%-of-Run
 // acceptance bench. Segmented adds a checkpoint every 8 steps (4 deep
-// copies of the 512x512 grid per run); Verified additionally
-// shadow-recomputes a sampled 4x4 box's dependency cone per segment.
+// copies of the 512x512 grid per run); Spill additionally persists each
+// checkpoint to the durable journal (the ≤10%-over-Segmented acceptance
+// bench for crash recovery); Verified instead shadow-recomputes a sampled
+// 4x4 box's dependency cone per segment.
 func BenchmarkSupervisedHeat2D(b *testing.B) {
 	const X, Y, steps, seed = 512, 512, 32, 7
 	up := float64(X*Y) * float64(steps)
@@ -190,6 +192,14 @@ func BenchmarkSupervisedHeat2D(b *testing.B) {
 		benchSup(b, func(st *pochoir.Stencil[float64], kern pochoir.Kernel) error {
 			_, err := st.RunSupervised(context.Background(), steps, kern,
 				pochoir.SupervisePolicy{SegmentSteps: 8})
+			return err
+		})
+	})
+	b.Run("SupervisedSpill", func(b *testing.B) {
+		dir := b.TempDir()
+		benchSup(b, func(st *pochoir.Stencil[float64], kern pochoir.Kernel) error {
+			_, err := st.RunSupervised(context.Background(), steps, kern,
+				pochoir.SupervisePolicy{SegmentSteps: 8, SpillDir: dir})
 			return err
 		})
 	})

@@ -6,6 +6,7 @@
 //	blackbox show [BUNDLE]        header, per-worker lane timeline, final events
 //	blackbox diff [BUNDLE]        failing segment vs the preceding healthy one
 //	blackbox trace [BUNDLE]       export the event window as a Chrome trace
+//	blackbox checkpoints [TARGET] list a spill journal, or inspect one entry
 //
 // With BUNDLE omitted every subcommand loads the newest bundle in the
 // diagnostics directory (POCHOIR_POSTMORTEM_DIR, default under the OS temp
@@ -14,6 +15,11 @@
 // loadable in chrome://tracing or https://ui.perfetto.dev, one instant-event
 // track per worker lane, alongside the span traces the live telemetry
 // recorder exports.
+//
+// checkpoints takes a spill-journal directory (lists every entry, validating
+// each end to end) or a single entry file (decodes and prints its header and
+// array sections). With no TARGET it follows the newest bundle's resume
+// hint — the journal the crashed run was spilling to.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 
 	"pochoir/internal/flight"
 	"pochoir/internal/telemetry"
+	"pochoir/internal/wire"
 )
 
 func main() {
@@ -46,6 +53,8 @@ func main() {
 		err = runDiff(args)
 	case "trace":
 		err = runTrace(args)
+	case "checkpoints":
+		err = runCheckpoints(args)
 	case "help", "-h", "--help":
 		usage(os.Stdout)
 	default:
@@ -60,12 +69,14 @@ func main() {
 }
 
 func usage(w *os.File) {
-	fmt.Fprintf(w, `usage: blackbox [list|show|diff|trace] [flags] [BUNDLE]
+	fmt.Fprintf(w, `usage: blackbox [list|show|diff|trace|checkpoints] [flags] [ARG]
 
-  list           list bundles in the diagnostics directory
-  show [BUNDLE]  render a bundle (default: the newest one)
-  diff [BUNDLE]  compare the failing segment against the preceding one
-  trace [BUNDLE] write a Chrome trace of the event window (-o FILE)
+  list                 list bundles in the diagnostics directory
+  show [BUNDLE]        render a bundle (default: the newest one)
+  diff [BUNDLE]        compare the failing segment against the preceding one
+  trace [BUNDLE]       write a Chrome trace of the event window (-o FILE)
+  checkpoints [TARGET] list a spill-journal directory or inspect one entry
+                       (default: the newest bundle's resume hint)
 
 diagnostics directory: %s
 `, flight.DefaultDir())
@@ -154,6 +165,9 @@ func runShow(args []string) error {
 	}
 	fmt.Printf("run       %dD sizes=%v steps-run=%d algorithm=%s supervised=%v\n",
 		b.Run.NDims, b.Run.Sizes, b.Run.StepsRun, b.Run.Algorithm, b.Run.Supervised)
+	if r := b.Resume; r != nil {
+		fmt.Printf("resume    durable checkpoint at step %d: %s\n", r.Step, r.Path)
+	}
 	fmt.Printf("host      %s %s/%s %d cpus pid=%d", b.Host.GoVersion, b.Host.OS, b.Host.Arch,
 		b.Host.NumCPU, b.Host.PID)
 	if b.Host.Commit != "" {
@@ -345,6 +359,98 @@ func kindTally(evs []flight.Event) map[flight.Kind]int {
 		m[ev.Kind]++
 	}
 	return m
+}
+
+// runCheckpoints renders durable spill journals. A directory target lists
+// every entry, fully validating each (header and section CRCs, no trailing
+// bytes) so an operator sees at a glance which checkpoint a resume would
+// restore; a file target decodes one entry and prints its header and array
+// sections. With no target it follows the newest bundle's resume hint.
+func runCheckpoints(args []string) error {
+	fs := flag.NewFlagSet("checkpoints", flag.ExitOnError)
+	fs.Parse(args)
+	target := fs.Arg(0)
+	if target == "" {
+		b, path, err := load("")
+		if err != nil {
+			return fmt.Errorf("no journal argument and no bundle to follow: %w", err)
+		}
+		if b.Resume == nil {
+			return fmt.Errorf("%s has no resume hint; pass a journal directory or entry file", path)
+		}
+		fmt.Printf("journal   from resume hint of %s\n", filepath.Base(path))
+		target = b.Resume.Dir
+	}
+	info, err := os.Stat(target)
+	if err != nil {
+		return err
+	}
+	if info.IsDir() {
+		return listJournal(target)
+	}
+	return inspectEntry(target)
+}
+
+func listJournal(dir string) error {
+	j, err := wire.OpenJournal(dir, 0)
+	if err != nil {
+		return err
+	}
+	ents, err := j.Entries()
+	if err != nil {
+		return err
+	}
+	if len(ents) == 0 {
+		fmt.Printf("no checkpoint entries in %s\n", dir)
+		return nil
+	}
+	fmt.Printf("journal   %s (%d entries, newest last)\n", dir, len(ents))
+	var newestGood string
+	for _, e := range ents {
+		status := "ok"
+		if _, rerr := wire.ReadEntry(e.Path); rerr != nil {
+			status = "CORRUPT: " + trimPrefixPath(rerr.Error(), e.Path)
+		} else {
+			newestGood = e.Path
+		}
+		fmt.Printf("  %-34s step=%-8d seq=%-6d %10d bytes  %s\n",
+			filepath.Base(e.Path), e.Steps, e.Seq, e.Bytes, status)
+	}
+	if newestGood == "" {
+		fmt.Println("no entry validates: a resume from this journal cold-starts")
+	} else {
+		fmt.Printf("resume would restore %s\n", filepath.Base(newestGood))
+	}
+	return nil
+}
+
+// trimPrefixPath strips the entry's own path from an error string so the
+// listing stays one line per entry.
+func trimPrefixPath(msg, path string) string {
+	msg = strings.ReplaceAll(msg, path+": ", "")
+	return strings.ReplaceAll(msg, path, "")
+}
+
+func inspectEntry(path string) error {
+	cp, err := wire.ReadEntry(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("entry     %s\n", path)
+	fmt.Printf("schema    %s\n", wire.Schema)
+	fmt.Printf("steps     %d (resume cursor)\n", cp.StepsRun)
+	fmt.Printf("grid      %dD sizes=%v\n", len(cp.Sizes), cp.Sizes)
+	pts := 1
+	for _, s := range cp.Sizes {
+		pts *= s
+	}
+	for i, a := range cp.Arrays {
+		kind, n, _ := wire.KindOf(a.Data)
+		fmt.Printf("array %-3d %s, %d slots, %d elements (%d points x %d slots), %d payload bytes\n",
+			i, kind, a.Slots, n, pts, a.Slots, n*kind.Size())
+	}
+	fmt.Println("integrity ok (header and all section CRCs validate)")
+	return nil
 }
 
 // runTrace exports the window through the shared Chrome trace exporter: one

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"pochoir"
+)
+
+// runDurable measures the durable-checkpoint machinery on Heat 2D:
+//
+//  1. the spill overhead — a segmented supervised run with SpillDir
+//     (every checkpoint encoded to the versioned wire format and written
+//     to the crash-safe journal via temp-file+rename) against the same
+//     run spilling nothing; the acceptance criterion is <= 10% over
+//     in-memory segmented checkpointing, and
+//  2. a full crash-and-resume cycle: the run is killed by a persistent
+//     kernel fault at ~60% progress, a fresh stencil resumes from the
+//     newest journal entry via ResumeSupervised, and the final grid must
+//     match the uninterrupted reference bit for bit.
+//
+// The journal lives in a throwaway temp directory; sizes and timings are
+// printed so EXPERIMENTS.md can record the measured overhead.
+func runDurable() {
+	X, Y, steps := 256, 256, 64
+	if *quick {
+		X, Y, steps = 128, 128, 32
+	}
+	header(fmt.Sprintf("Durable checkpoints: spill overhead and crash resume on Heat 2p (%dx%d, %d steps)", X, Y, steps))
+
+	sh := pochoir.MustShape(2, [][]int{
+		{1, 0, 0}, {0, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, -1}, {0, 0, 1},
+	})
+	const cx, cy = 0.125, 0.125
+	newHeat := func() (*pochoir.Stencil[float64], *pochoir.Array[float64]) {
+		st := pochoir.New[float64](sh)
+		u := pochoir.MustArray[float64](sh.Depth(), X, Y)
+		u.RegisterBoundary(pochoir.PeriodicBoundary[float64]())
+		st.MustRegisterArray(u)
+		for x := 0; x < X; x++ {
+			for y := 0; y < Y; y++ {
+				u.Set(0, float64((x*37+y*23)%101)/101, x, y)
+			}
+		}
+		return st, u
+	}
+	heatKernel := func(u *pochoir.Array[float64]) pochoir.Kernel {
+		return pochoir.K2(func(t, x, y int) {
+			c := u.Get(t, x, y)
+			u.Set(t+1, c+
+				cx*(u.Get(t, x+1, y)-2*c+u.Get(t, x-1, y))+
+				cy*(u.Get(t, x, y+1)-2*c+u.Get(t, x, y-1)), x, y)
+		})
+	}
+	sum := func(u *pochoir.Array[float64]) float64 {
+		var s float64
+		for x := 0; x < X; x++ {
+			for y := 0; y < Y; y++ {
+				s += u.Get(steps, x, y)
+			}
+		}
+		return s
+	}
+	check := func(got, want float64) string {
+		if math.Abs(got-want) <= 1e-9*math.Abs(want) {
+			return "ok"
+		}
+		return "MISMATCH"
+	}
+	reps := 3
+	if *quick {
+		reps = 2
+	}
+	best := func(run func() time.Duration) time.Duration {
+		b := run()
+		for i := 1; i < reps; i++ {
+			if d := run(); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	segSteps := steps / 8
+
+	// Reference: plain Run, and the in-memory segmented baseline the spill
+	// overhead is judged against.
+	var refSum float64
+	tRun := best(func() time.Duration {
+		st, u := newHeat()
+		start := time.Now()
+		if err := st.Run(steps, heatKernel(u)); err != nil {
+			panic(err)
+		}
+		d := time.Since(start)
+		refSum = sum(u)
+		return d
+	})
+	fmt.Printf("plain Run:                       %s\n", seconds(tRun))
+
+	var segSum float64
+	tSeg := best(func() time.Duration {
+		st, u := newHeat()
+		start := time.Now()
+		if _, err := st.RunSupervised(context.Background(), steps, heatKernel(u),
+			pochoir.SupervisePolicy{SegmentSteps: segSteps}); err != nil {
+			panic(err)
+		}
+		d := time.Since(start)
+		segSum = sum(u)
+		return d
+	})
+	fmt.Printf("segmented, in-memory only:       %s  (%+.1f%% vs Run)  [%s]\n",
+		seconds(tSeg), 100*(tSeg.Seconds()/tRun.Seconds()-1), check(segSum, refSum))
+
+	// 1. Spill overhead: same segmentation, every checkpoint also persisted.
+	var spillSum float64
+	var spillRep *pochoir.RunReport
+	tSpill := best(func() time.Duration {
+		dir, err := os.MkdirTemp("", "pochoir-durable-exp-*")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dir)
+		st, u := newHeat()
+		start := time.Now()
+		rep, err := st.RunSupervised(context.Background(), steps, heatKernel(u),
+			pochoir.SupervisePolicy{SegmentSteps: segSteps, SpillDir: dir})
+		if err != nil {
+			panic(err)
+		}
+		d := time.Since(start)
+		spillSum, spillRep = sum(u), rep
+		return d
+	})
+	overhead := 100 * (tSpill.Seconds()/tSeg.Seconds() - 1)
+	verdict := "PASS"
+	if overhead > 10 {
+		verdict = "FAIL"
+	}
+	fmt.Printf("segmented + durable spill:       %s  (%+.1f%% vs in-memory; acceptance <=10%%: %s)  [%s]\n",
+		seconds(tSpill), overhead, verdict, check(spillSum, refSum))
+	fmt.Printf("  %d spills, %d bytes journaled (%.0f KiB per checkpoint)\n",
+		spillRep.Spills, spillRep.SpillBytes,
+		float64(spillRep.SpillBytes)/float64(spillRep.Spills)/1024)
+
+	// 2. Crash and resume: a persistent fault kills the spilling run at
+	// ~60% progress; a fresh stencil resumes from the journal and must
+	// reproduce the reference grid exactly.
+	dir, err := os.MkdirTemp("", "pochoir-durable-exp-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	crashAt := steps * 6 / 10
+	st, u := newHeat()
+	broken := pochoir.K2(func(t, x, y int) {
+		if t >= crashAt && x == X/2 && y == Y/2 {
+			panic("injected persistent fault")
+		}
+		c := u.Get(t, x, y)
+		u.Set(t+1, c+
+			cx*(u.Get(t, x+1, y)-2*c+u.Get(t, x-1, y))+
+			cy*(u.Get(t, x, y+1)-2*c+u.Get(t, x, y-1)), x, y)
+	})
+	_, err = st.RunSupervised(context.Background(), steps, broken,
+		pochoir.SupervisePolicy{
+			SegmentSteps: segSteps,
+			MaxAttempts:  2,
+			BaseDelay:    time.Millisecond,
+			Ladder:       []pochoir.SupervisorEngine{pochoir.EngineFull},
+			SpillDir:     dir,
+		})
+	if err == nil {
+		panic("durable: expected the persistent fault to defeat supervision")
+	}
+	entries, lerr := pochoir.ListSpillJournal(dir)
+	if lerr != nil || len(entries) == 0 {
+		panic(fmt.Sprintf("durable: no journal to resume from (%v)", lerr))
+	}
+	newest := entries[len(entries)-1]
+
+	st2, u2 := newHeat()
+	start := time.Now()
+	rep2, err := st2.ResumeSupervised(context.Background(), steps, heatKernel(u2),
+		pochoir.SupervisePolicy{SegmentSteps: segSteps, SpillDir: dir})
+	if err != nil {
+		panic(err)
+	}
+	tResume := time.Since(start)
+	fmt.Printf("crash at step %d, resume:         %s recomputing %d/%d steps from journal entry at step %d  [%s]\n",
+		crashAt, seconds(tResume), rep2.StepsDone, steps, newest.Steps, check(sum(u2), refSum))
+	footer()
+}

@@ -26,6 +26,11 @@
 //	              fault past 90% progress must leave a parseable crash
 //	              bundle attributing the failing zoid, with the panic in
 //	              its recent-event window (render it with cmd/blackbox)
+//	-run durable  durable-checkpoint measurements: the cost of spilling
+//	              every segment checkpoint to the crash-safe journal
+//	              (acceptance: <=10% over in-memory checkpointing) and a
+//	              crash-and-resume cycle restoring a fresh process from
+//	              the newest journal entry
 //	-run all      everything above
 //
 // The telemetry experiment additionally honors -stats (print the full
@@ -55,7 +60,7 @@ import (
 )
 
 var (
-	runFlag   = flag.String("run", "all", "experiment to run (intro, fig3, fig5, fig9, fig10, fig13, mod, coarsen, tune, telemetry, faults, resilience, monitor, flight, all)")
+	runFlag   = flag.String("run", "all", "experiment to run (intro, fig3, fig5, fig9, fig10, fig13, mod, coarsen, tune, telemetry, faults, resilience, monitor, flight, durable, all)")
 	quick     = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	benchName = flag.String("bench", "", "restrict fig3 to one benchmark name (e.g. \"Heat 2p\")")
 	statsFlag = flag.Bool("stats", false, "print the full telemetry stats report (telemetry experiment)")
@@ -81,8 +86,9 @@ func main() {
 		"resilience": runResilience,
 		"monitor":    runMonitor,
 		"flight":     runFlight,
+		"durable":    runDurable,
 	}
-	order := []string{"intro", "fig3", "fig5", "fig9", "fig10", "fig13", "mod", "coarsen", "tune", "telemetry", "faults", "resilience", "monitor", "flight"}
+	order := []string{"intro", "fig3", "fig5", "fig9", "fig10", "fig13", "mod", "coarsen", "tune", "telemetry", "faults", "resilience", "monitor", "flight", "durable"}
 	name := strings.ToLower(*runFlag)
 	if name == "all" {
 		for _, n := range order {

@@ -81,6 +81,16 @@ func CollectHost() HostInfo {
 	return h
 }
 
+// ResumeHint points at the newest durable checkpoint a crashed supervised
+// run had spilled (SupervisePolicy.SpillDir): the journal directory, the
+// newest good entry's path, and the resume cursor it restores to. A fresh
+// process hands Dir back to ResumeSupervised to continue the run.
+type ResumeHint struct {
+	Dir  string `json:"dir"`
+	Path string `json:"path"`
+	Step int    `json:"step"`
+}
+
 // RunInfo records what the failing run was computing.
 type RunInfo struct {
 	NDims      int    `json:"ndims"`
@@ -119,6 +129,10 @@ type Bundle struct {
 	// attempts, checkpoints, restores, and the ordered SupEvent decision
 	// log (resilience.Report JSON).
 	Supervisor json.RawMessage `json:"supervisor,omitempty"`
+	// Resume, when the failing run had durable spilling enabled, points at
+	// the newest durably spilled checkpoint — the "resume from here" pointer
+	// for a fresh process.
+	Resume *ResumeHint `json:"resume,omitempty"`
 
 	// Goroutines is a full goroutine dump captured at incident time.
 	Goroutines string `json:"goroutines,omitempty"`
@@ -233,8 +247,11 @@ func ReportIncident(b *Bundle, dir string) (string, error) {
 }
 
 // writeBundleLocked writes the bundle under a sortable timestamped name and
-// prunes the directory to the retention cap. Caller holds incidentMu, which
-// serializes concurrent failing runs.
+// prunes the directory to the retention cap. The write goes through a temp
+// file in the same directory and an atomic rename, so a process dying
+// mid-dump (the exact situation bundles exist for) never leaves a truncated
+// bundle a reader could mistake for a complete one. Caller holds incidentMu,
+// which serializes concurrent failing runs.
 func writeBundleLocked(b *Bundle, dir string) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("flight: %w", err)
@@ -245,7 +262,30 @@ func writeBundleLocked(b *Bundle, dir string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("flight: %w", err)
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	f, err := os.CreateTemp(dir, ".tmp-postmortem-")
+	if err != nil {
+		return "", fmt.Errorf("flight: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) (string, error) {
+		f.Close()
+		os.Remove(tmp)
+		return "", fmt.Errorf("flight: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
 		return "", fmt.Errorf("flight: %w", err)
 	}
 	pruneLocked(dir)

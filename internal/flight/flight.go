@@ -229,6 +229,7 @@ func (e Event) Describe() string {
 var supKindNames = []string{
 	"segment-start", "segment-done", "segment-fail", "checkpoint", "restore",
 	"retry-backoff", "degrade", "verify-ok", "verify-mismatch", "give-up",
+	"spill", "resume",
 }
 
 func supKindName(code int64) string {

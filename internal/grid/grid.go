@@ -247,6 +247,41 @@ func (cp *ArrayCheckpoint[T]) Sizes() []int { return append([]int(nil), cp.sizes
 // Slots returns the number of temporal copies the checkpoint was taken with.
 func (cp *ArrayCheckpoint[T]) Slots() int { return cp.slots }
 
+// Data returns the checkpoint's slot-major element buffer — a read-only view
+// of the underlying storage (points-per-slot x slots elements), used by the
+// wire codec to stream a checkpoint to disk without copying it again.
+// Callers must not mutate it: checkpoints are immutable after capture.
+func (cp *ArrayCheckpoint[T]) Data() []T { return cp.data }
+
+// NewArrayCheckpoint reassembles an array checkpoint from its parts — the
+// decode half of the wire round trip. The data slice must hold exactly
+// product(sizes)*slots elements; the checkpoint takes ownership of it (the
+// caller must not retain a mutable reference).
+func NewArrayCheckpoint[T any](sizes []int, slots int, data []T) (*ArrayCheckpoint[T], error) {
+	if slots < 2 {
+		return nil, fmt.Errorf("grid: checkpoint needs >= 2 time slots, got %d", slots)
+	}
+	total := 1
+	for i, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("grid: checkpoint size of dimension %d is %d, must be positive", i, s)
+		}
+		total *= s
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("grid: checkpoint needs at least one spatial dimension")
+	}
+	if len(data) != total*slots {
+		return nil, fmt.Errorf("grid: checkpoint data holds %d elements, geometry %v x %d slots implies %d",
+			len(data), sizes, slots, total*slots)
+	}
+	return &ArrayCheckpoint[T]{
+		sizes: append([]int(nil), sizes...),
+		slots: slots,
+		data:  data,
+	}, nil
+}
+
 // Checkpoint deep-copies every live time slot of the array. The caller is
 // responsible for quiescence: checkpointing during a run captures a torn
 // state.

@@ -191,6 +191,48 @@ func TestPrometheusGolden(t *testing.T) {
 	}
 }
 
+// TestPrometheusGoldenSupervisorSpill pins the durable-spill and
+// cross-process-resume instruments on /statusz: both outcome labels of
+// each family are pre-registered (a scrape sees "error"/"cold_start" at 0
+// before anything goes wrong), and the byte/time/corruption counters
+// expose exactly as named in README and EXPERIMENTS.md.
+func TestPrometheusGoldenSupervisorSpill(t *testing.T) {
+	r := NewRegistry()
+	sm := NewSupervisorMetrics(r)
+	sm.Spills.Add(4)
+	sm.SpillBytes.Add(1 << 20)
+	sm.SpillNS.Add(2500)
+	sm.ResumeRestored.Inc()
+	sm.ResumeCorrupt.Add(2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, line := range []string{
+		`pochoir_sup_spills_total{outcome="ok"} 4` + "\n",
+		`pochoir_sup_spills_total{outcome="error"} 0` + "\n",
+		"pochoir_sup_spill_bytes_total 1048576\n",
+		"pochoir_sup_spill_ns_total 2500\n",
+		`pochoir_resume_total{outcome="restored"} 1` + "\n",
+		`pochoir_resume_total{outcome="cold_start"} 0` + "\n",
+		"pochoir_resume_corrupt_entries_total 2\n",
+	} {
+		if !strings.Contains(got, line) {
+			t.Fatalf("exposition missing %q:\n%s", line, got)
+		}
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("supervisor exposition fails the validator: %v", err)
+	}
+	// Get-or-create: a second resolution against the same registry must
+	// return the same underlying counters, not panic on re-registration.
+	if NewSupervisorMetrics(r).Spills.Value() != 4 {
+		t.Fatal("re-resolved instrument set lost the counts")
+	}
+}
+
 func TestCheckExposition(t *testing.T) {
 	valid := []byte(strings.Join([]string{
 		"# HELP x_total stuff",

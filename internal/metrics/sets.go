@@ -95,6 +95,21 @@ type SupervisorMetrics struct {
 	Restores       *Counter
 	GiveUps        *Counter
 	BackoffNS      *Counter
+
+	// Durable spill journal: checkpoints persisted (or failed), the bytes
+	// and wall time they cost, so /statusz shows what durability is costing
+	// a run while it happens.
+	Spills      *Counter
+	SpillErrors *Counter
+	SpillBytes  *Counter
+	SpillNS     *Counter
+
+	// Cross-process resume outcomes: a fresh process restored a journal
+	// entry, started cold (empty or fully corrupt journal), plus every
+	// corrupt or torn entry skipped on the way to the newest good one.
+	ResumeRestored *Counter
+	ResumeCold     *Counter
+	ResumeCorrupt  *Counter
 }
 
 // NewSupervisorMetrics resolves the supervisor instrument set against r.
@@ -111,5 +126,14 @@ func NewSupervisorMetrics(r *Registry) *SupervisorMetrics {
 		Restores:       r.Counter("pochoir_sup_restores_total", "Checkpoint restores after failed attempts."),
 		GiveUps:        r.Counter("pochoir_sup_giveups_total", "Supervised runs abandoned after exhausting retries."),
 		BackoffNS:      r.Counter("pochoir_sup_backoff_ns_total", "Nanoseconds spent in retry backoff sleeps."),
+
+		Spills:      r.Counter("pochoir_sup_spills_total", "Durable checkpoint spills by outcome.", Label{"outcome", "ok"}),
+		SpillErrors: r.Counter("pochoir_sup_spills_total", "Durable checkpoint spills by outcome.", Label{"outcome", "error"}),
+		SpillBytes:  r.Counter("pochoir_sup_spill_bytes_total", "Bytes written to the durable spill journal."),
+		SpillNS:     r.Counter("pochoir_sup_spill_ns_total", "Nanoseconds spent writing durable checkpoint spills."),
+
+		ResumeRestored: r.Counter("pochoir_resume_total", "Cross-process resume decisions by outcome.", Label{"outcome", "restored"}),
+		ResumeCold:     r.Counter("pochoir_resume_total", "Cross-process resume decisions by outcome.", Label{"outcome", "cold_start"}),
+		ResumeCorrupt:  r.Counter("pochoir_resume_corrupt_entries_total", "Corrupt or torn journal entries skipped while resuming."),
 	}
 }

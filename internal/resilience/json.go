@@ -84,6 +84,11 @@ type reportJSON struct {
 	BackoffNS        int64                `json:"backoff_ns,omitempty"`
 	Verified         int                  `json:"verified,omitempty"`
 	VerifyMismatches int                  `json:"verify_mismatches,omitempty"`
+	Spills           int                  `json:"spills,omitempty"`
+	SpillErrors      int                  `json:"spill_errors,omitempty"`
+	SpillBytes       int64                `json:"spill_bytes,omitempty"`
+	LastSpillPath    string               `json:"last_spill_path,omitempty"`
+	LastSpillStep    int                  `json:"last_spill_step,omitempty"`
 	Events           []telemetry.SupEvent `json:"events,omitempty"`
 	Err              string               `json:"error,omitempty"`
 }
@@ -97,7 +102,10 @@ func (r Report) MarshalJSON() ([]byte, error) {
 		Attempts: r.Attempts, Retries: r.Retries, Degradations: r.Degradations,
 		FinalEngine: r.FinalEngine, Checkpoints: r.Checkpoints, Restores: r.Restores,
 		BackoffNS: r.BackoffTotal.Nanoseconds(), Verified: r.Verified,
-		VerifyMismatches: r.VerifyMismatches, Events: r.Events,
+		VerifyMismatches: r.VerifyMismatches, Spills: r.Spills,
+		SpillErrors: r.SpillErrors, SpillBytes: r.SpillBytes,
+		LastSpillPath: r.LastSpillPath, LastSpillStep: r.LastSpillStep,
+		Events: r.Events,
 	}
 	if r.Err != nil {
 		j.Err = r.Err.Error()
@@ -117,7 +125,10 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 		Attempts: j.Attempts, Retries: j.Retries, Degradations: j.Degradations,
 		FinalEngine: j.FinalEngine, Checkpoints: j.Checkpoints, Restores: j.Restores,
 		BackoffTotal: time.Duration(j.BackoffNS), Verified: j.Verified,
-		VerifyMismatches: j.VerifyMismatches, Events: j.Events,
+		VerifyMismatches: j.VerifyMismatches, Spills: j.Spills,
+		SpillErrors: j.SpillErrors, SpillBytes: j.SpillBytes,
+		LastSpillPath: j.LastSpillPath, LastSpillStep: j.LastSpillStep,
+		Events: j.Events,
 	}
 	if j.Err != "" {
 		r.Err = errors.New(j.Err)

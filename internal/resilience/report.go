@@ -38,6 +38,18 @@ type Report struct {
 	// counts the ones that failed (each also counts as a segment failure).
 	Verified         int
 	VerifyMismatches int
+	// Spills counts segment checkpoints persisted to the durable journal
+	// (Policy.SpillDir); SpillErrors counts persists that failed (the run
+	// continues with durability degraded); SpillBytes is the total bytes
+	// written.
+	Spills      int
+	SpillErrors int
+	SpillBytes  int64
+	// LastSpillPath is the newest durably spilled checkpoint's journal
+	// file and LastSpillStep its resume cursor — the "resume from here"
+	// pointer the post-mortem bundle carries for a crashed run.
+	LastSpillPath string
+	LastSpillStep int
 	// Events is the ordered supervisor decision log, the same records
 	// emitted to Policy.Telemetry.
 	Events []telemetry.SupEvent

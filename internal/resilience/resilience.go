@@ -151,6 +151,18 @@ type Policy struct {
 	// overhead happy path. Failures are then unrecoverable: the first
 	// failed attempt ends the run (the stencil stays poisoned).
 	NoCheckpoint bool
+	// SpillDir, when non-empty, makes every segment checkpoint durable:
+	// the driver persists it to the crash-safe spill journal in this
+	// directory (versioned wire format, atomic temp-file+rename writes,
+	// newest SpillKeep entries retained), so a kill -9, OOM, or host
+	// reboot costs at most one segment — a fresh process resumes from the
+	// newest good entry (pochoir.Stencil.ResumeSupervised). Implies
+	// checkpointing: SpillDir overrides NoCheckpoint. A failed spill never
+	// fails the run; it is reported (SupSpill event with Err, spill-error
+	// counter) and the run continues with durability degraded.
+	SpillDir string
+	// SpillKeep bounds the journal's retained entries; <= 0 means 3.
+	SpillKeep int
 	// Ladder overrides the degradation ladder; empty means
 	// [EngineFull, EngineSTRAP, EngineLoops].
 	Ladder []Engine

@@ -27,6 +27,11 @@ type Driver struct {
 	// enabled.
 	Checkpoint func() error
 	Restore    func() error
+	// Spill, when non-nil (the stencil layer supplies it iff
+	// Policy.SpillDir is set), durably persists the checkpoint just taken
+	// and returns the journal path and bytes written. A spill failure is
+	// not a segment failure: the supervisor records it and continues.
+	Spill func(segment, fromStep int) (path string, bytes int64, err error)
 	// Verify, when non-nil and enabled by Policy.Verify, shadow-checks the
 	// just-completed segment; a non-nil return (typically a *VerifyError)
 	// is treated as a segment failure.
@@ -45,6 +50,11 @@ func Supervise(ctx context.Context, d Driver, p Policy) (*Report, error) {
 	if p.Verify.Enabled {
 		// Shadow verification recomputes from the segment-start snapshot,
 		// so it needs the checkpoints NoCheckpoint would skip.
+		p.NoCheckpoint = false
+	}
+	if p.SpillDir != "" {
+		// Durable spilling persists the segment checkpoints, so it needs
+		// them taken.
 		p.NoCheckpoint = false
 	}
 	segSteps := p.SegmentSteps
@@ -96,6 +106,32 @@ func Supervise(ctx context.Context, d Driver, p Policy) (*Report, error) {
 				sm.Checkpoints.Inc()
 			}
 			emit(telemetry.SupEvent{Kind: telemetry.SupCheckpoint, Segment: seg.Index})
+
+			if d.Spill != nil {
+				spillStart := p.Clock.Now()
+				path, bytes, serr := d.Spill(seg.Index, from)
+				spillNS := p.Clock.Now().Sub(spillStart).Nanoseconds()
+				if serr != nil {
+					// Durability degraded, run intact: record and move on.
+					rep.SpillErrors++
+					if sm != nil {
+						sm.SpillErrors.Inc()
+					}
+					emit(telemetry.SupEvent{Kind: telemetry.SupSpill, Segment: seg.Index,
+						Err: serr.Error()})
+				} else {
+					rep.Spills++
+					rep.SpillBytes += bytes
+					rep.LastSpillPath = path
+					rep.LastSpillStep = from
+					if sm != nil {
+						sm.Spills.Inc()
+						sm.SpillBytes.Add(bytes)
+						sm.SpillNS.Add(spillNS)
+					}
+					emit(telemetry.SupEvent{Kind: telemetry.SupSpill, Segment: seg.Index})
+				}
+			}
 		}
 
 		var segErr error

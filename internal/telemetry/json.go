@@ -20,7 +20,7 @@ func (k *SupKind) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &s); err != nil {
 		return err
 	}
-	for c := SupSegmentStart; c <= SupGiveUp; c++ {
+	for c := SupSegmentStart; c <= SupResume; c++ {
 		if c.String() == s {
 			*k = c
 			return nil

@@ -248,6 +248,15 @@ const (
 	// SupGiveUp marks attempt-budget exhaustion: the supervisor returns the
 	// segment's last error to the caller.
 	SupGiveUp
+	// SupSpill marks a segment checkpoint persisted to the durable spill
+	// journal (or, with Err set, a spill that failed; the run continues
+	// with durability degraded).
+	SupSpill
+	// SupResume marks a cross-process resume decision: a fresh process
+	// restored the newest good journal entry (Err empty; Attempt carries the
+	// restored resume cursor) or fell back to a cold start (Err describes
+	// why).
+	SupResume
 )
 
 func (k SupKind) String() string {
@@ -272,6 +281,10 @@ func (k SupKind) String() string {
 		return "verify-mismatch"
 	case SupGiveUp:
 		return "give-up"
+	case SupSpill:
+		return "spill"
+	case SupResume:
+		return "resume"
 	}
 	return "unknown"
 }

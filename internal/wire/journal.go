@@ -1,0 +1,223 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// entryPrefix and entryExt frame journal entry filenames:
+//
+//	ckpt-<steps:12>-<seq:6>.pchk
+//
+// steps is the entry's resume cursor and seq a monotonically increasing
+// write counter, both zero-padded so lexical order is (steps, seq) order —
+// the newest good entry is simply the last name that validates.
+const (
+	entryPrefix = "ckpt-"
+	entryExt    = ".pchk"
+	tmpPrefix   = ".tmp-ckpt-"
+)
+
+// DefaultKeep is the journal's default retention: enough history to survive
+// a corrupt newest entry (and the one before it) without unbounded disk use.
+const DefaultKeep = 3
+
+// Journal is a crash-safe spill journal: a directory of encoded checkpoints
+// written via temp-file + fsync + atomic rename, pruned to the newest Keep
+// entries. One journal has one writer (the supervising process); any number
+// of processes may read it.
+type Journal struct {
+	dir  string
+	keep int
+	seq  int
+}
+
+// Entry describes one journal file.
+type Entry struct {
+	// Path is the entry's absolute or dir-relative file path.
+	Path string
+	// Steps is the resume cursor encoded in the entry's name.
+	Steps int
+	// Seq is the write sequence number encoded in the entry's name.
+	Seq int
+	// Bytes is the file size.
+	Bytes int64
+}
+
+// OpenJournal opens (creating if needed) the spill journal in dir, retaining
+// the newest keep entries (keep <= 0 selects DefaultKeep). The write
+// sequence resumes past any existing entries, so re-opening after a crash
+// never reuses a name.
+func OpenJournal(dir string, keep int) (*Journal, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("wire: empty journal directory")
+	}
+	if keep <= 0 {
+		keep = DefaultKeep
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	j := &Journal{dir: dir, keep: keep}
+	entries, err := j.Entries()
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.Seq >= j.seq {
+			j.seq = e.Seq + 1
+		}
+	}
+	return j, nil
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// parseEntryName decodes steps and seq from an entry filename.
+func parseEntryName(name string) (steps, seq int, ok bool) {
+	if !strings.HasPrefix(name, entryPrefix) || !strings.HasSuffix(name, entryExt) {
+		return 0, 0, false
+	}
+	body := name[len(entryPrefix) : len(name)-len(entryExt)]
+	dash := strings.IndexByte(body, '-')
+	if dash < 0 {
+		return 0, 0, false
+	}
+	st, err1 := strconv.Atoi(body[:dash])
+	sq, err2 := strconv.Atoi(body[dash+1:])
+	if err1 != nil || err2 != nil || st < 0 || sq < 0 {
+		return 0, 0, false
+	}
+	return st, sq, true
+}
+
+// Entries lists the journal's entries, oldest first. Temp files from torn
+// writes and foreign files are ignored.
+func (j *Journal) Entries() ([]Entry, error) {
+	ents, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	var out []Entry
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		steps, seq, ok := parseEntryName(e.Name())
+		if !ok {
+			continue
+		}
+		ent := Entry{Path: filepath.Join(j.dir, e.Name()), Steps: steps, Seq: seq}
+		if info, err := e.Info(); err == nil {
+			ent.Bytes = info.Size()
+		}
+		out = append(out, ent)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Steps != out[b].Steps {
+			return out[a].Steps < out[b].Steps
+		}
+		return out[a].Seq < out[b].Seq
+	})
+	return out, nil
+}
+
+// Append durably spills cp as the journal's newest entry: encode to a temp
+// file in the same directory, fsync, atomically rename into place, then
+// prune beyond the retention cap. A crash at any point leaves either the
+// complete new entry or none — never a torn one a reader could mistake for
+// good.
+func (j *Journal) Append(cp *Checkpoint) (Entry, error) {
+	f, err := os.CreateTemp(j.dir, tmpPrefix)
+	if err != nil {
+		return Entry{}, fmt.Errorf("wire: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) (Entry, error) {
+		f.Close()
+		os.Remove(tmp)
+		return Entry{}, err
+	}
+	if err := Encode(f, cp); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("wire: %w", err))
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fail(fmt.Errorf("wire: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		return fail(fmt.Errorf("wire: %w", err))
+	}
+	ent := Entry{Steps: cp.StepsRun, Seq: j.seq, Bytes: size}
+	ent.Path = filepath.Join(j.dir, fmt.Sprintf("%s%012d-%06d%s", entryPrefix, ent.Steps, ent.Seq, entryExt))
+	if err := os.Rename(tmp, ent.Path); err != nil {
+		os.Remove(tmp)
+		return Entry{}, fmt.Errorf("wire: %w", err)
+	}
+	j.seq++
+	j.prune()
+	return ent, nil
+}
+
+// prune removes the oldest entries beyond the retention cap. Best effort: a
+// prune failure never fails the spill that triggered it.
+func (j *Journal) prune() {
+	entries, err := j.Entries()
+	if err != nil || len(entries) <= j.keep {
+		return
+	}
+	for _, e := range entries[:len(entries)-j.keep] {
+		_ = os.Remove(e.Path)
+	}
+}
+
+// ReadEntry loads and fully validates one journal entry (header and every
+// section CRC). Trailing garbage after a well-formed checkpoint is rejected:
+// an entry is exactly one encoding.
+func ReadEntry(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cp, err := Decode(f)
+	if err != nil {
+		// Decode errors already carry the "wire:" prefix; add only the path.
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	var tail [1]byte
+	if n, _ := f.Read(tail[:]); n != 0 {
+		return nil, fmt.Errorf("%s: wire: trailing bytes after checkpoint", path)
+	}
+	return cp, nil
+}
+
+// LoadLatest walks the journal newest-first and returns the newest entry
+// that validates end to end, skipping past any corrupt or truncated tail.
+// skipped counts the entries rejected on the way. An empty (or fully
+// corrupt) journal returns a nil checkpoint and no error — the caller's
+// cold-start path.
+func (j *Journal) LoadLatest() (cp *Checkpoint, ent Entry, skipped int, err error) {
+	entries, err := j.Entries()
+	if err != nil {
+		return nil, Entry{}, 0, err
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		c, rerr := ReadEntry(entries[i].Path)
+		if rerr != nil {
+			skipped++
+			continue
+		}
+		return c, entries[i], skipped, nil
+	}
+	return nil, Entry{}, skipped, nil
+}

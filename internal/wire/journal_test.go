@@ -1,0 +1,227 @@
+package wire
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func ckptAt(steps int) *Checkpoint {
+	data := make([]float64, 4*3*2)
+	for i := range data {
+		data[i] = float64(steps*1000 + i)
+	}
+	return &Checkpoint{StepsRun: steps, Sizes: []int{4, 3}, Arrays: []Array{{Slots: 2, Data: data}}}
+}
+
+func TestJournalAppendLoadLatest(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, steps := range []int{0, 4, 8} {
+		if _, err := j.Append(ckptAt(steps)); err != nil {
+			t.Fatalf("Append(%d): %v", steps, err)
+		}
+	}
+	cp, ent, skipped, err := j.LoadLatest()
+	if err != nil || cp == nil {
+		t.Fatalf("LoadLatest: cp=%v err=%v", cp, err)
+	}
+	if skipped != 0 || cp.StepsRun != 8 || ent.Steps != 8 {
+		t.Fatalf("LoadLatest: steps=%d ent=%+v skipped=%d", cp.StepsRun, ent, skipped)
+	}
+	if got := cp.Arrays[0].Data.([]float64)[5]; got != 8005 {
+		t.Fatalf("payload element = %v, want 8005", got)
+	}
+}
+
+func TestJournalPrunesToKeep(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for steps := 0; steps < 10; steps += 2 {
+		if _, err := j.Append(ckptAt(steps)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := j.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("%d entries after prune, want 2", len(entries))
+	}
+	if entries[0].Steps != 6 || entries[1].Steps != 8 {
+		t.Fatalf("kept entries %+v, want steps 6 and 8", entries)
+	}
+}
+
+// TestJournalSkipsCorruptTail covers the two crash shapes the CRCs exist
+// for: a flipped byte in the newest entry, and a truncated newest entry.
+// Both must be skipped in favor of the preceding good checkpoint.
+func TestJournalSkipsCorruptTail(t *testing.T) {
+	corrupt := func(t *testing.T, path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x01
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	truncate := func(t *testing.T, path string) {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, info.Size()/3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, damage := range map[string]func(*testing.T, string){
+		"flipped-byte": corrupt,
+		"truncated":    truncate,
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			j, err := OpenJournal(dir, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, steps := range []int{0, 4, 8} {
+				if _, err := j.Append(ckptAt(steps)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			entries, err := j.Entries()
+			if err != nil {
+				t.Fatal(err)
+			}
+			damage(t, entries[len(entries)-1].Path)
+
+			cp, ent, skipped, err := j.LoadLatest()
+			if err != nil || cp == nil {
+				t.Fatalf("LoadLatest: cp=%v err=%v", cp, err)
+			}
+			if skipped != 1 {
+				t.Fatalf("skipped = %d, want 1", skipped)
+			}
+			if cp.StepsRun != 4 || ent.Steps != 4 {
+				t.Fatalf("fell back to steps=%d, want 4", cp.StepsRun)
+			}
+		})
+	}
+}
+
+func TestJournalAllCorruptIsColdStart(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, steps := range []int{0, 4} {
+		if _, err := j.Append(ckptAt(steps)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, _ := j.Entries()
+	for _, e := range entries {
+		if err := os.Truncate(e.Path, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp, _, skipped, err := j.LoadLatest()
+	if err != nil {
+		t.Fatalf("LoadLatest: %v", err)
+	}
+	if cp != nil || skipped != 2 {
+		t.Fatalf("cp=%v skipped=%d, want nil cp and 2 skipped", cp, skipped)
+	}
+}
+
+// TestJournalIgnoresTornTempFiles simulates a crash mid-spill: a stale temp
+// file must be invisible to Entries and LoadLatest.
+func TestJournalIgnoresTornTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(ckptAt(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, tmpPrefix+"123"), []byte("PCHK torn half-write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := j.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d entries, want 1 (temp file leaked in)", len(entries))
+	}
+	cp, _, skipped, err := j.LoadLatest()
+	if err != nil || cp == nil || skipped != 0 || cp.StepsRun != 4 {
+		t.Fatalf("LoadLatest: cp=%v skipped=%d err=%v", cp, skipped, err)
+	}
+}
+
+// TestJournalSequenceSurvivesReopen checks a fresh process resumes the write
+// sequence past existing entries instead of overwriting them.
+func TestJournalSequenceSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	j1, err := OpenJournal(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := j1.Append(ckptAt(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same resume cursor (a retried segment re-spills from the same step):
+	// the sequence number must still advance.
+	e2, err := j2.Append(ckptAt(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Seq <= e1.Seq {
+		t.Fatalf("reopened journal reused sequence: %d then %d", e1.Seq, e2.Seq)
+	}
+	cp, ent, _, err := j2.LoadLatest()
+	if err != nil || cp == nil || ent.Seq != e2.Seq {
+		t.Fatalf("LoadLatest after reopen: ent=%+v err=%v", ent, err)
+	}
+}
+
+func TestReadEntryRejectsTrailingBytes(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent, err := j.Append(ckptAt(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(ent.Path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("junk"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := ReadEntry(ent.Path); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("ReadEntry with trailing bytes: err=%v, want trailing-bytes error", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"path/filepath"
 
 	"pochoir/internal/flight"
 )
@@ -152,6 +153,16 @@ func (s *Stencil[T]) writePostmortem(err error, rep *RunReport) {
 	if rep != nil {
 		if data, jerr := json.Marshal(rep); jerr == nil {
 			b.Supervisor = data
+		}
+		if rep.LastSpillPath != "" {
+			// The run had durable spilling on: point the bundle at the
+			// newest durable checkpoint so the operator (or cmd/blackbox)
+			// knows exactly where a fresh process resumes from.
+			b.Resume = &flight.ResumeHint{
+				Dir:  filepath.Dir(rep.LastSpillPath),
+				Path: rep.LastSpillPath,
+				Step: rep.LastSpillStep,
+			}
 		}
 	}
 	_, _ = flight.ReportIncident(b, "")

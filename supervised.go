@@ -9,6 +9,7 @@ import (
 	"pochoir/internal/core"
 	"pochoir/internal/resilience"
 	"pochoir/internal/telemetry"
+	"pochoir/internal/wire"
 	"pochoir/internal/zoid"
 )
 
@@ -115,6 +116,29 @@ func (s *Stencil[T]) RunSupervised(ctx context.Context, steps int, kern Kernel, 
 			return nil
 		},
 		Restore: func() error { return s.Restore(cpStart) },
+	}
+	if p.SpillDir != "" {
+		// Durable spilling: every segment checkpoint also goes to the
+		// crash-safe journal, so a killed process resumes from the newest
+		// good entry via ResumeSupervised. Opening the journal is the only
+		// fatal step — durability was explicitly requested, so an unusable
+		// directory is a configuration error; individual spill failures
+		// later are recorded by the supervisor and never fail the run.
+		jour, jerr := wire.OpenJournal(p.SpillDir, p.SpillKeep)
+		if jerr != nil {
+			return nil, fmt.Errorf("pochoir: open spill journal: %w", jerr)
+		}
+		d.Spill = func(segment, fromStep int) (string, int64, error) {
+			wcp, werr := wireCheckpoint(cpStart)
+			if werr != nil {
+				return "", 0, werr
+			}
+			ent, aerr := jour.Append(wcp)
+			if aerr != nil {
+				return "", 0, aerr
+			}
+			return ent.Path, ent.Bytes, nil
+		}
 	}
 	if p.Verify.Enabled {
 		vp := p.Verify
