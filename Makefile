@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench verify fuzz-smoke soak crash-soak monitor-smoke bench-lab flight-smoke
+.PHONY: build vet test race bench verify fuzz-smoke soak crash-soak monitor-smoke bench-lab flight-smoke gateway-smoke
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,7 @@ test:
 # (segment retries, degradation ladder, shadow verification) under the
 # detector.
 race:
-	$(GO) test -race ./internal/core ./internal/sched ./internal/telemetry ./internal/loops ./internal/faultpoint ./internal/resilience ./internal/metrics ./internal/flight ./internal/wire
+	$(GO) test -race ./internal/core ./internal/sched ./internal/telemetry ./internal/loops ./internal/faultpoint ./internal/resilience ./internal/metrics ./internal/flight ./internal/wire ./internal/compiler ./internal/gateway
 	$(GO) test -race -run 'Panic|Cancel|Poison|Checkpoint|Restore|Fault|RegisterArray|Supervised|LoopsEngine|Monitor|Progress|Bundle|Recorder|Incident|Resume|Durable' .
 
 # soak runs the supervised-run soak with probabilistic faults armed at the
@@ -96,5 +96,16 @@ flight-smoke:
 	POCHOIR_POSTMORTEM_DIR=$(CURDIR)/flight-smoke-out $(GO) run ./cmd/blackbox show -tail 12
 	POCHOIR_POSTMORTEM_DIR=$(CURDIR)/flight-smoke-out $(GO) run ./cmd/blackbox diff
 	POCHOIR_POSTMORTEM_DIR=$(CURDIR)/flight-smoke-out $(GO) run ./cmd/blackbox trace -o flight-smoke-out/postmortem-trace.json
+
+# gateway-smoke proves the serving gateway's overload/drain safety under the
+# race detector, end to end over real HTTP: a burst past queue capacity must
+# shed with 429 + Retry-After and lose zero accepted jobs; concurrent
+# executions must never exceed the worker pool bound; an injected worker
+# fault (POCHOIR_FAULTPOINTS grammar) must be absorbed by the supervisor
+# with a bit-identical result; SIGTERM mid-burst (a real signal to a real
+# re-exec'd daemon process) must drain every admitted job and exit 0; and
+# the self-scraped /metrics exposition must stay parseable throughout.
+gateway-smoke:
+	$(GO) test -race -run 'TestGatewaySmoke|TestPochoird' -v ./internal/gateway
 
 verify: build vet test race

@@ -1,0 +1,68 @@
+// Command pochoird is the pochoir stencil daemon: a long-running service
+// that accepts stencil specifications over HTTP, compiles them, and runs
+// each accepted job as a supervised resilient computation on a bounded
+// shared worker pool.
+//
+// Submit a job:
+//
+//	curl -s -X POST -H 'X-Tenant: alice' http://127.0.0.1:9700/jobs -d '{
+//	  "spec":  "stencil heat { dims: 1; array u; boundary u: periodic; kernel { u(t+1,x) = 0.25*u(t,x-1) + 0.5*u(t,x) + 0.25*u(t,x+1); } }",
+//	  "sizes": [4096], "steps": 256, "priority": "high", "deadline_ms": 30000
+//	}'
+//
+// then poll /jobs/<id> (add ?wait_ms=5000 to block until it finishes),
+// scrape /metrics, watch /progressz, and stop the daemon with SIGTERM —
+// it stops admitting, finishes or durably spills every accepted job, and
+// prints a drain summary before exiting.
+//
+// Overload is shed, never buffered: a full queue or an exhausted tenant
+// quota answers 429 with a Retry-After hint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pochoir"
+	"pochoir/internal/gateway"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9700", "listen address (use :0 for an ephemeral port)")
+		workers  = flag.Int("workers", 2, "worker pool size — the hard bound on concurrent jobs")
+		queue    = flag.Int("queue", 16, "admission queue capacity; past it, submissions shed with 429")
+		spillDir = flag.String("spill-dir", "", "directory for durable per-job checkpoint journals (empty = in-memory only)")
+		rate     = flag.Float64("tenant-rate", 50, "per-tenant submission tokens per second")
+		burst    = flag.Int("tenant-burst", 100, "per-tenant token bucket capacity")
+		conc     = flag.Int("tenant-concurrency", 0, "per-tenant cap on admitted-but-unfinished jobs (0 = queue capacity)")
+		deadline = flag.Duration("default-deadline", time.Minute, "deadline for jobs that do not set one")
+		maxDl    = flag.Duration("max-deadline", 5*time.Minute, "clamp on client-supplied deadlines")
+		drain    = flag.Duration("drain-timeout", 2*time.Minute, "how long SIGTERM waits for in-flight jobs before giving up")
+		segSteps = flag.Int("segment-steps", 64, "time steps per supervised checkpoint segment (0 = one segment)")
+	)
+	flag.Parse()
+
+	cfg := gateway.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		SpillDir:        *spillDir,
+		TenantRate:      *rate,
+		TenantBurst:     *burst,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDl,
+		Supervise: pochoir.SupervisePolicy{
+			SegmentSteps: *segSteps,
+		},
+	}
+	if *conc > 0 {
+		cfg.TenantMaxConcurrent = *conc
+	}
+
+	if err := gateway.Daemon(cfg, *addr, *drain, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,6 +1,7 @@
 package compiler
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -28,17 +29,34 @@ func FuzzDSL(f *testing.F) {
 		"stencil",
 		"# just a comment\n",
 		"",
+		// Front-door limit probes: an oversized source, a token flood, and
+		// deep expression nesting must all surface as typed *LimitError —
+		// never a stack overflow or a multi-second parse.
+		"stencil s { dims: 1; array u; kernel { u(t+1,x) = u(t,x); } }" +
+			strings.Repeat("# pad\n", MaxSourceBytes/6+1),
+		"stencil s { dims: 1; array u; kernel { u(t+1,x) = 0" +
+			strings.Repeat("+0", MaxTokens/2+64) + "; } }",
+		"stencil s { dims: 1; array u; kernel { u(t+1,x) = " +
+			strings.Repeat("(", 4*MaxExprDepth) + "u(t,x)" + strings.Repeat(")", 4*MaxExprDepth) + "; } }",
+		"stencil s { dims: 1; array u; kernel { u(t+1,x) = " +
+			strings.Repeat("-", 4*MaxExprDepth) + "u(t,x); } }",
 	}
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
-		// Unreasonably long inputs only slow the fuzzer down; the grammar
-		// has no constructs that need them.
-		if len(src) > 1<<12 {
+		// Bound the fuzzer's own cost, but stay far enough above
+		// MaxSourceBytes that the size cap itself is exercised.
+		if len(src) > 2*MaxSourceBytes {
 			t.Skip()
 		}
 		c, err := CompileSource(src)
+		if len(src) > MaxSourceBytes {
+			var le *LimitError
+			if !errors.As(err, &le) {
+				t.Fatalf("source of %d bytes not rejected by the size cap: err=%v", len(src), err)
+			}
+		}
 		if err != nil {
 			if c != nil {
 				t.Fatalf("CompileSource returned both a Checked and an error: %v", err)

@@ -149,7 +149,7 @@ func (l *lexer) next() (token, error) {
 }
 
 // lexAll tokenizes the whole input (used by the parser, which needs one
-// token of lookahead).
+// token of lookahead). Token floods are cut off at MaxTokens.
 func lexAll(src string) ([]token, error) {
 	l := newLexer(src)
 	var toks []token
@@ -161,6 +161,9 @@ func lexAll(src string) ([]token, error) {
 		toks = append(toks, t)
 		if t.kind == tokEOF {
 			return toks, nil
+		}
+		if len(toks) > MaxTokens {
+			return nil, &LimitError{What: "tokens", Limit: MaxTokens, Got: len(toks)}
 		}
 	}
 }

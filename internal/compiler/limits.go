@@ -1,0 +1,36 @@
+package compiler
+
+import "fmt"
+
+// Front-door input limits. A stencil specification is a small document —
+// the largest real spec in the repository is under a kilobyte — so the
+// parser enforces generous but hard caps before and during parsing. A
+// service that accepts specs from untrusted clients (cmd/pochoird) can then
+// hand any byte string to CompileSource knowing the cost of rejecting a
+// pathological input is bounded: an oversized source is refused before the
+// lexer runs, a token flood is refused before the parser runs, and deeply
+// nested expressions are refused before the recursive-descent parser can
+// exhaust the stack.
+const (
+	// MaxSourceBytes caps the specification's byte length, checked before
+	// lexing.
+	MaxSourceBytes = 32 << 10
+	// MaxTokens caps the token count, checked during lexing.
+	MaxTokens = 16 << 10
+	// MaxExprDepth caps the nesting depth of expressions (parentheses,
+	// unary minus, min/max calls), checked during parsing.
+	MaxExprDepth = 64
+)
+
+// LimitError reports an input that exceeds one of the front-door limits.
+// It is distinguishable from ordinary syntax errors with errors.As, so a
+// server can map it to "request too large" rather than "bad request".
+type LimitError struct {
+	What  string // "source bytes", "tokens", or "expression depth"
+	Limit int
+	Got   int // for "expression depth" the depth at which parsing stopped
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("compiler: input exceeds the %s limit (%d > %d)", e.What, e.Got, e.Limit)
+}

@@ -1,0 +1,84 @@
+package compiler
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The front-door limits must reject pathological inputs with a typed
+// *LimitError — before the lexer (size), during lexing (token flood), or
+// before the recursive-descent parser can deepen the stack (nesting) — and
+// must not reject any real specification in the repository.
+func TestLimitOversizedSource(t *testing.T) {
+	src := "stencil s { dims: 1; array u; kernel { u(t+1,x) = u(t,x); } }" +
+		strings.Repeat("#"+strings.Repeat("x", 127)+"\n", MaxSourceBytes/128)
+	_, err := CompileSource(src)
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("oversized source: got %v, want *LimitError", err)
+	}
+	if le.What != "source bytes" || le.Got != len(src) {
+		t.Fatalf("wrong limit error: %+v", le)
+	}
+}
+
+func TestLimitTokenFlood(t *testing.T) {
+	// Many tiny tokens in a source well under the byte cap.
+	src := "stencil s { dims: 1; array u; kernel { u(t+1,x) = 0" +
+		strings.Repeat("+0", MaxTokens/2+64) + "; } }"
+	if len(src) > MaxSourceBytes {
+		t.Fatalf("test bug: flood source exceeds the byte cap (%d)", len(src))
+	}
+	_, err := CompileSource(src)
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("token flood: got %v, want *LimitError", err)
+	}
+	if le.What != "tokens" {
+		t.Fatalf("wrong limit error: %+v", le)
+	}
+}
+
+func TestLimitExpressionDepth(t *testing.T) {
+	for _, tc := range []struct {
+		name, open, close string
+	}{
+		{"parens", "(", ")"},
+		{"unary-minus", "-", ""},
+		{"min-calls", "min(1,", ")"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			n := MaxExprDepth + 8
+			src := "stencil s { dims: 1; array u; kernel { u(t+1,x) = " +
+				strings.Repeat(tc.open, n) + "u(t,x)" + strings.Repeat(tc.close, n) + "; } }"
+			_, err := CompileSource(src)
+			var le *LimitError
+			if !errors.As(err, &le) {
+				t.Fatalf("%s nesting: got %v, want *LimitError", tc.name, err)
+			}
+			if le.What != "expression depth" {
+				t.Fatalf("wrong limit error: %+v", le)
+			}
+		})
+	}
+}
+
+// Moderate nesting — real kernels parenthesize freely — must still parse.
+func TestLimitModerateNestingAccepted(t *testing.T) {
+	n := MaxExprDepth / 2
+	src := "stencil s { dims: 1; array u; kernel { u(t+1,x) = " +
+		strings.Repeat("(", n) + "u(t,x)" + strings.Repeat(")", n) + "; } }"
+	if _, err := CompileSource(src); err != nil {
+		t.Fatalf("moderate nesting rejected: %v", err)
+	}
+}
+
+// Every committed example spec must stay comfortably inside the limits.
+func TestLimitsAdmitRepositorySpecs(t *testing.T) {
+	for _, src := range []string{heatSrc} {
+		if _, err := CompileSource(src); err != nil {
+			t.Fatalf("repository spec rejected: %v", err)
+		}
+	}
+}

@@ -4,13 +4,19 @@ import "math"
 
 // parser is a recursive-descent parser over the token stream.
 type parser struct {
-	toks []token
-	i    int
-	dims int // set once the dims decl is seen; needed to parse accesses
+	toks  []token
+	i     int
+	dims  int // set once the dims decl is seen; needed to parse accesses
+	depth int // current expression nesting depth (see MaxExprDepth)
 }
 
-// Parse parses a stencil specification.
+// Parse parses a stencil specification. Inputs beyond the front-door
+// limits (MaxSourceBytes, MaxTokens, MaxExprDepth) are rejected with a
+// *LimitError before they can make parsing expensive.
 func Parse(src string) (*Program, error) {
+	if len(src) > MaxSourceBytes {
+		return nil, &LimitError{What: "source bytes", Limit: MaxSourceBytes, Got: len(src)}
+	}
 	toks, err := lexAll(src)
 	if err != nil {
 		return nil, err
@@ -331,6 +337,14 @@ func (p *parser) term() (Expr, error) {
 }
 
 func (p *parser) factor() (Expr, error) {
+	// factor is the recursion point of the expression grammar (parentheses,
+	// unary minus, min/max arguments all re-enter through it), so the depth
+	// guard here bounds the whole parser's stack use.
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > MaxExprDepth {
+		return nil, &LimitError{What: "expression depth", Limit: MaxExprDepth, Got: p.depth}
+	}
 	t := p.cur()
 	switch {
 	case t.kind == tokNumber:

@@ -81,6 +81,11 @@ const (
 	// EvFault marks an armed faultpoint firing: A0 = site (0 walker/cut,
 	// 1 walker/base), A1 = decomposition depth.
 	EvFault
+	// EvJob is one gateway job-lifecycle transition: A0 = JobSubmit..
+	// JobDrainEnd code, A1 = numeric job id (0 when none), A2 = queue depth
+	// at the transition. A crashed daemon's post-mortem bundle therefore
+	// names the jobs that were in flight.
+	EvJob
 
 	numKinds
 )
@@ -94,6 +99,7 @@ var kindNames = [numKinds]string{
 	EvCancel:   "cancel",
 	EvSup:      "sup",
 	EvFault:    "fault",
+	EvJob:      "job",
 }
 
 func (k Kind) String() string {
@@ -159,6 +165,32 @@ const (
 	PanicSched = 1
 )
 
+// Job lifecycle codes of EvJob's A0, recorded by the serving gateway.
+const (
+	JobSubmit   = 0 // submission received
+	JobAdmit    = 1 // admitted to the queue
+	JobShed     = 2 // rejected by admission control (429)
+	JobCoalesce = 3 // merged into an identical in-flight job
+	JobStart    = 4 // a worker began executing the job
+	JobDone     = 5 // completed successfully
+	JobFail     = 6 // terminal failure (supervisor give-up, deadline)
+	JobDrainBeg = 7 // drain started; A2 = jobs still in flight
+	JobDrainEnd = 8 // drain finished; A2 = jobs completed during drain
+	numJobCodes = 9
+)
+
+var jobCodeNames = [numJobCodes]string{
+	"submit", "admit", "shed", "coalesce", "start", "done", "fail",
+	"drain-begin", "drain-end",
+}
+
+func jobCodeName(code int64) string {
+	if code >= 0 && int(code) < len(jobCodeNames) {
+		return jobCodeNames[code]
+	}
+	return fmt.Sprintf("job(%d)", code)
+}
+
 // Event is one decoded flight-recorder entry. Seq orders events within a
 // worker lane; TS is coarse nanoseconds since the recorder's epoch.
 type Event struct {
@@ -220,6 +252,8 @@ func (e Event) Describe() string {
 			site = "walker/base"
 		}
 		return fmt.Sprintf("faultpoint fired at %s depth=%d", site, e.A1)
+	case EvJob:
+		return fmt.Sprintf("job %s id=%d queue=%d", jobCodeName(e.A0), e.A1, e.A2)
 	}
 	return fmt.Sprintf("%s a0=%d a1=%d a2=%d", e.Kind, e.A0, e.A1, e.A2)
 }

@@ -1,0 +1,799 @@
+// Package gateway turns the pochoir library into a long-running service:
+// cmd/pochoird accepts stencil specifications over HTTP, compiles them with
+// internal/compiler, and executes each accepted job as a supervised
+// resilient run on a bounded shared worker pool.
+//
+// The robustness spine, in admission order:
+//
+//   - Front-door validation: the compiler's input limits reject
+//     pathological specs before parse; grid volume and step counts are
+//     capped so one request cannot allocate the host away.
+//
+//   - Per-tenant quotas: a token bucket bounds each tenant's submission
+//     rate and a concurrency cap bounds its admitted-but-unfinished jobs;
+//     exhausting either sheds the request with 429 + Retry-After.
+//
+//   - Coalescing: a submission identical to an in-flight job (same spec
+//     bytes, grid, steps, seed) joins that job instead of running again.
+//
+//   - A bounded priority queue: when it is full the gateway sheds (429 +
+//     Retry-After) — it never buffers without bound. Workers never exceed
+//     the configured pool size.
+//
+//   - Per-job deadlines propagated as context deadlines into the run; the
+//     supervisor absorbs worker faults (retry, degrade, restore) so a
+//     fault mid-job does not surface to the client.
+//
+//   - Graceful drain on SIGTERM: admission stops (503), queued and running
+//     jobs finish (or spill durably via SpillDir), then the process exits.
+//
+// Every transition is observable: counters/gauges/histograms in the shared
+// metrics registry, per-job progress entries (label = job id) served at
+// /jobs/<id>, and job-lifecycle events stamped into the black-box flight
+// recorder so a crashed daemon's post-mortem bundle names the in-flight
+// jobs.
+package gateway
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"pochoir"
+	"pochoir/internal/compiler"
+	"pochoir/internal/flight"
+	"pochoir/internal/metrics"
+)
+
+// Config configures a Gateway. The zero value is usable; see the field
+// comments for the defaults.
+type Config struct {
+	// Workers is the shared pool size — the hard bound on concurrently
+	// executing jobs. Default 2.
+	Workers int
+	// QueueDepth bounds the admission queue (jobs admitted but not yet
+	// running). A full queue sheds with 429 + Retry-After. Default 16.
+	QueueDepth int
+	// MaxBodyBytes bounds a submission's HTTP body. Default 1 MiB (the
+	// compiler's own MaxSourceBytes caps the spec inside it).
+	MaxBodyBytes int64
+	// MaxSteps bounds a job's time steps. Default 100000.
+	MaxSteps int
+	// MaxGridPoints bounds a job's spatial grid volume (points per time
+	// slot). Default 1<<20.
+	MaxGridPoints int64
+	// DefaultDeadline applies when a submission carries no deadline;
+	// MaxDeadline clamps client-supplied ones. Defaults 1m and 5m. The
+	// deadline runs from admission, so time spent queued counts.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// RetryAfter is the Retry-After hint attached to queue-full and drain
+	// sheds (quota sheds compute the exact token-refill time). Default 1s.
+	RetryAfter time.Duration
+	// TenantRate and TenantBurst configure each tenant's submission token
+	// bucket (tokens/second and bucket capacity); TenantMaxConcurrent
+	// bounds a tenant's admitted-but-unfinished jobs. Defaults 50/s, 100,
+	// and QueueDepth.
+	TenantRate          float64
+	TenantBurst         int
+	TenantMaxConcurrent int
+	// SpillDir, when non-empty, gives every job durable checkpoints: job
+	// <id> spills to SpillDir/<id> (see SupervisePolicy.SpillDir), so a
+	// killed daemon leaves resumable journals.
+	SpillDir string
+	// Supervise is the resilience policy template applied to every job
+	// (segmenting, retry budget, degradation ladder, verification). The
+	// per-job SpillDir and deadline are layered on top of it.
+	Supervise pochoir.SupervisePolicy
+	// Metrics is the shared registry all jobs and the gateway itself
+	// instrument; nil creates a private one.
+	Metrics *metrics.Registry
+	// Flight is the black-box recorder job lifecycle events are stamped
+	// into; nil uses the process-wide default recorder.
+	Flight *flight.Recorder
+
+	// now overrides the clock (tests).
+	now func() time.Time
+}
+
+// withDefaults resolves the zero-value knobs.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 100000
+	}
+	if c.MaxGridPoints <= 0 {
+		c.MaxGridPoints = 1 << 20
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = time.Minute
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 5 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.TenantRate <= 0 {
+		c.TenantRate = 50
+	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = 100
+	}
+	if c.TenantMaxConcurrent <= 0 {
+		c.TenantMaxConcurrent = c.QueueDepth
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	if c.Flight == nil {
+		c.Flight = flight.Default()
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// JobState names a job's lifecycle state.
+type JobState string
+
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// Submission is one job request: a stencil specification plus its grid,
+// step count, and scheduling hints.
+type Submission struct {
+	// Spec is the .pch stencil specification source.
+	Spec string `json:"spec"`
+	// Sizes are the spatial extents (must match the spec's dims).
+	Sizes []int `json:"sizes"`
+	// Steps is the number of time steps to run.
+	Steps int `json:"steps"`
+	// Priority is "high", "normal" (default), or "low".
+	Priority string `json:"priority,omitempty"`
+	// DeadlineMS bounds the job's total age (queue + run) in milliseconds;
+	// 0 selects the gateway default.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Seed parameterizes the deterministic initial condition, so distinct
+	// seeds are distinct computations (and identical seeds coalesce).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// SubmitError is a rejected submission: the HTTP status to serve, the shed
+// reason, and (for shedding) the Retry-After hint.
+type SubmitError struct {
+	Code       int
+	Reason     string
+	RetryAfter time.Duration
+	Err        error
+}
+
+func (e *SubmitError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("gateway: %s: %v", e.Reason, e.Err)
+	}
+	return "gateway: " + e.Reason
+}
+
+func (e *SubmitError) Unwrap() error { return e.Err }
+
+// JobStatus is the JSON view of one job, served at /jobs/<id>.
+type JobStatus struct {
+	ID        string   `json:"id"`
+	Tenant    string   `json:"tenant"`
+	State     JobState `json:"state"`
+	Priority  string   `json:"priority"`
+	Steps     int      `json:"steps"`
+	Sizes     []int    `json:"sizes"`
+	Coalesced int      `json:"coalesced"`
+
+	QueuedSeconds float64 `json:"queued_seconds"`
+	RunSeconds    float64 `json:"run_seconds"`
+	DeadlineMS    int64   `json:"deadline_ms"`
+	Checksum      string  `json:"checksum,omitempty"`
+	Error         string  `json:"error,omitempty"`
+	Retries       int     `json:"retries"`
+	Degradations  int     `json:"degradations"`
+
+	// Progress is the job's live run-progress entry from the shared
+	// registry (label = job id); nil until the run starts.
+	Progress *metrics.ProgressStat `json:"progress,omitempty"`
+}
+
+// job is the gateway's record of one admitted computation.
+type job struct {
+	id       string
+	num      int64 // numeric id for flight events
+	tenant   string
+	key      uint64
+	Priority Priority
+	steps    int
+	sizes    []int
+	seed     int64
+	deadline time.Time
+
+	inst *compiler.Instance
+
+	mu          sync.Mutex
+	state       JobState
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+	errText     string
+	checksum    string
+	retries     int
+	degrades    int
+	coalesced   int
+
+	done chan struct{}
+}
+
+// Gateway is the multi-tenant stencil service: admission control, a
+// bounded priority queue, a fixed worker pool of supervised runs, and
+// graceful drain.
+type Gateway struct {
+	cfg     Config
+	met     *gwMetrics
+	queue   *jobQueue
+	tenants *tenantSet
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	workers sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	byKey    map[uint64]*job // queued or running jobs only, for coalescing
+	jobSeq   int64
+	draining bool
+
+	running    int
+	maxRunning int // high-water mark; tests assert it never exceeds Workers
+}
+
+// New builds a gateway and starts its worker pool.
+func New(cfg Config) *Gateway {
+	cfg = cfg.withDefaults()
+	g := &Gateway{
+		cfg:     cfg,
+		met:     newGwMetrics(cfg.Metrics),
+		queue:   newJobQueue(cfg.QueueDepth),
+		tenants: newTenantSet(cfg.TenantRate, cfg.TenantBurst, cfg.TenantMaxConcurrent, cfg.now),
+		jobs:    make(map[string]*job),
+		byKey:   make(map[uint64]*job),
+	}
+	g.baseCtx, g.cancel = context.WithCancel(context.Background())
+	g.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go g.worker()
+	}
+	return g
+}
+
+// Registry returns the shared metrics registry (for mounting a monitor).
+func (g *Gateway) Registry() *metrics.Registry { return g.cfg.Metrics }
+
+// Draining reports whether drain has begun (admission closed).
+func (g *Gateway) Draining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+// jobKey identifies a computation for coalescing: the exact spec bytes,
+// grid extents, step count, and seed.
+func jobKey(sub Submission) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(sub.Spec))
+	var b [8]byte
+	for _, n := range sub.Sizes {
+		binary.LittleEndian.PutUint64(b[:], uint64(n))
+		_, _ = h.Write(b[:])
+	}
+	binary.LittleEndian.PutUint64(b[:], uint64(sub.Steps))
+	_, _ = h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(sub.Seed))
+	_, _ = h.Write(b[:])
+	return h.Sum64()
+}
+
+// Submit validates, admits, and enqueues one job for tenant. On success the
+// returned status is the job's snapshot (state "queued", or the coalesced
+// target's current state). A non-nil *SubmitError carries the HTTP status:
+// 400 for an invalid spec, 413 for one over the input limits, 429 with
+// Retry-After for load shedding, 503 while draining.
+func (g *Gateway) Submit(tenant string, sub Submission) (*JobStatus, *SubmitError) {
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	g.met.submitted(tenant).Inc()
+	g.cfg.Flight.Record(flight.EvJob, flight.JobSubmit, 0, int64(g.queue.depth()))
+
+	// Front-door validation, before any lock: the compiler's input limits
+	// bound the parse, and the grid/step caps bound the allocation.
+	checked, serr := g.validate(sub)
+	if serr != nil {
+		if serr.Code == 429 || serr.Code == 503 {
+			g.shed(serr.Reason)
+		}
+		return nil, serr
+	}
+
+	key := jobKey(sub)
+	prio, _ := ParsePriority(sub.Priority)
+
+	g.mu.Lock()
+	if g.draining {
+		g.mu.Unlock()
+		g.shed("draining")
+		return nil, &SubmitError{Code: 503, Reason: "draining", RetryAfter: g.cfg.RetryAfter}
+	}
+	if prev, ok := g.byKey[key]; ok {
+		g.mu.Unlock()
+		// Identical spec+grid+steps+seed already queued or running: join it.
+		// The token still gets charged — coalescing must not bypass quota —
+		// but no new concurrency slot is taken.
+		if ok, retry := g.tenants.chargeToken(tenant); !ok {
+			g.shed("quota")
+			return nil, &SubmitError{Code: 429, Reason: "quota", RetryAfter: retry}
+		}
+		prev.mu.Lock()
+		prev.coalesced++
+		prev.mu.Unlock()
+		g.met.coalesced.Inc()
+		g.cfg.Flight.Record(flight.EvJob, flight.JobCoalesce, prev.num, int64(g.queue.depth()))
+		return g.status(prev), nil
+	}
+	g.mu.Unlock()
+
+	if reason, retry := g.tenants.admit(tenant); reason != "" {
+		if retry == 0 {
+			retry = g.cfg.RetryAfter
+		}
+		g.shed(reason)
+		return nil, &SubmitError{Code: 429, Reason: reason, RetryAfter: retry}
+	}
+
+	// Materialize the instance (arrays + deterministic initial condition)
+	// only after every admission gate has passed.
+	inst, err := checked.NewInstance(sub.Sizes...)
+	if err != nil {
+		g.tenants.release(tenant)
+		return nil, &SubmitError{Code: 400, Reason: "bad_spec", Err: err}
+	}
+	if err := initArrays(inst, sub.Seed); err != nil {
+		g.tenants.release(tenant)
+		return nil, &SubmitError{Code: 400, Reason: "bad_spec", Err: err}
+	}
+
+	deadline := time.Duration(sub.DeadlineMS) * time.Millisecond
+	if deadline <= 0 {
+		deadline = g.cfg.DefaultDeadline
+	}
+	if deadline > g.cfg.MaxDeadline {
+		deadline = g.cfg.MaxDeadline
+	}
+
+	g.mu.Lock()
+	if g.draining {
+		g.mu.Unlock()
+		g.tenants.release(tenant)
+		g.shed("draining")
+		return nil, &SubmitError{Code: 503, Reason: "draining", RetryAfter: g.cfg.RetryAfter}
+	}
+	// Re-check the coalesce map: an identical submission may have landed
+	// while the instance was being built.
+	if prev, ok := g.byKey[key]; ok {
+		g.mu.Unlock()
+		g.tenants.release(tenant)
+		prev.mu.Lock()
+		prev.coalesced++
+		prev.mu.Unlock()
+		g.met.coalesced.Inc()
+		g.cfg.Flight.Record(flight.EvJob, flight.JobCoalesce, prev.num, int64(g.queue.depth()))
+		return g.status(prev), nil
+	}
+	g.jobSeq++
+	now := g.cfg.now()
+	j := &job{
+		id:          fmt.Sprintf("j-%d", g.jobSeq),
+		num:         g.jobSeq,
+		tenant:      tenant,
+		key:         key,
+		Priority:    prio,
+		steps:       sub.Steps,
+		sizes:       append([]int(nil), sub.Sizes...),
+		seed:        sub.Seed,
+		deadline:    now.Add(deadline),
+		inst:        inst,
+		state:       StateQueued,
+		submittedAt: now,
+		done:        make(chan struct{}),
+	}
+	if !g.queue.push(j) {
+		g.mu.Unlock()
+		g.tenants.release(tenant)
+		g.shed("queue_full")
+		return nil, &SubmitError{Code: 429, Reason: "queue_full", RetryAfter: g.cfg.RetryAfter}
+	}
+	g.jobs[j.id] = j
+	g.byKey[key] = j
+	g.mu.Unlock()
+
+	g.met.admitted.Inc()
+	g.met.queueDepth.Set(float64(g.queue.depth()))
+	g.cfg.Flight.Record(flight.EvJob, flight.JobAdmit, j.num, int64(g.queue.depth()))
+	return g.status(j), nil
+}
+
+// validate runs the front-door checks and compiles the spec.
+func (g *Gateway) validate(sub Submission) (*compiler.Checked, *SubmitError) {
+	if int64(len(sub.Spec)) > g.cfg.MaxBodyBytes {
+		return nil, &SubmitError{Code: 413, Reason: "spec_too_large",
+			Err: fmt.Errorf("spec of %d bytes exceeds the %d byte cap", len(sub.Spec), g.cfg.MaxBodyBytes)}
+	}
+	checked, err := compiler.CompileSource(sub.Spec)
+	if err != nil {
+		var le *compiler.LimitError
+		if errors.As(err, &le) {
+			return nil, &SubmitError{Code: 413, Reason: "spec_limit", Err: err}
+		}
+		return nil, &SubmitError{Code: 400, Reason: "bad_spec", Err: err}
+	}
+	if sub.Steps <= 0 || sub.Steps > g.cfg.MaxSteps {
+		return nil, &SubmitError{Code: 400, Reason: "bad_steps",
+			Err: fmt.Errorf("steps %d outside (0, %d]", sub.Steps, g.cfg.MaxSteps)}
+	}
+	if len(sub.Sizes) != checked.Prog.Dims {
+		return nil, &SubmitError{Code: 400, Reason: "bad_sizes",
+			Err: fmt.Errorf("spec has %d dims, submission has %d sizes", checked.Prog.Dims, len(sub.Sizes))}
+	}
+	vol := int64(1)
+	for _, n := range sub.Sizes {
+		if n < 1 {
+			return nil, &SubmitError{Code: 400, Reason: "bad_sizes",
+				Err: fmt.Errorf("non-positive extent %d", n)}
+		}
+		vol *= int64(n)
+		if vol > g.cfg.MaxGridPoints {
+			return nil, &SubmitError{Code: 413, Reason: "grid_too_large",
+				Err: fmt.Errorf("grid volume exceeds the %d point cap", g.cfg.MaxGridPoints)}
+		}
+	}
+	return checked, nil
+}
+
+// shed counts one shed submission under its reason.
+func (g *Gateway) shed(reason string) {
+	g.met.shed(reason).Inc()
+	g.cfg.Flight.Record(flight.EvJob, flight.JobShed, 0, int64(g.queue.depth()))
+}
+
+// Job returns the status of a job by id, or nil when unknown.
+func (g *Gateway) Job(id string) *JobStatus {
+	g.mu.Lock()
+	j, ok := g.jobs[id]
+	g.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return g.status(j)
+}
+
+// JobList snapshots every known job, newest first.
+func (g *Gateway) JobList() []*JobStatus {
+	g.mu.Lock()
+	js := make([]*job, 0, len(g.jobs))
+	for _, j := range g.jobs {
+		js = append(js, j)
+	}
+	g.mu.Unlock()
+	sort.Slice(js, func(a, b int) bool { return js[a].num > js[b].num })
+	out := make([]*JobStatus, len(js))
+	for i, j := range js {
+		out[i] = g.status(j)
+	}
+	return out
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done.
+func (g *Gateway) Wait(ctx context.Context, id string) (*JobStatus, error) {
+	g.mu.Lock()
+	j, ok := g.jobs[id]
+	g.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("gateway: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+		return g.status(j), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// status snapshots a job for serving.
+func (g *Gateway) status(j *job) *JobStatus {
+	j.mu.Lock()
+	st := &JobStatus{
+		ID:           j.id,
+		Tenant:       j.tenant,
+		State:        j.state,
+		Priority:     j.Priority.String(),
+		Steps:        j.steps,
+		Sizes:        append([]int(nil), j.sizes...),
+		Coalesced:    j.coalesced,
+		DeadlineMS:   j.deadline.Sub(j.submittedAt).Milliseconds(),
+		Checksum:     j.checksum,
+		Error:        j.errText,
+		Retries:      j.retries,
+		Degradations: j.degrades,
+	}
+	now := g.cfg.now()
+	switch {
+	case j.startedAt.IsZero():
+		st.QueuedSeconds = now.Sub(j.submittedAt).Seconds()
+	case j.finishedAt.IsZero():
+		st.QueuedSeconds = j.startedAt.Sub(j.submittedAt).Seconds()
+		st.RunSeconds = now.Sub(j.startedAt).Seconds()
+	default:
+		st.QueuedSeconds = j.startedAt.Sub(j.submittedAt).Seconds()
+		st.RunSeconds = j.finishedAt.Sub(j.startedAt).Seconds()
+	}
+	j.mu.Unlock()
+
+	// The job's live progress entry shares the registry with every other
+	// job; the per-job label (= job id) is what makes it findable here.
+	if st.State == StateRunning || st.State == StateDone || st.State == StateFailed {
+		for _, p := range g.cfg.Metrics.ProgressSnapshot() {
+			if p.Label == j.id {
+				prog := p
+				st.Progress = &prog
+				break // snapshot is newest-first
+			}
+		}
+	}
+	return st
+}
+
+// worker is one slot of the shared pool: it pops admitted jobs until the
+// queue reports closed-and-empty (drain or shutdown).
+func (g *Gateway) worker() {
+	defer g.workers.Done()
+	for {
+		j, ok := g.queue.pop()
+		if !ok {
+			return
+		}
+		g.met.queueDepth.Set(float64(g.queue.depth()))
+		g.runJob(j)
+	}
+}
+
+// runJob executes one admitted job as a supervised resilient run under its
+// deadline and records the terminal state.
+func (g *Gateway) runJob(j *job) {
+	g.mu.Lock()
+	g.running++
+	if g.running > g.maxRunning {
+		g.maxRunning = g.running
+	}
+	g.mu.Unlock()
+	g.met.running.Inc()
+	defer func() {
+		g.mu.Lock()
+		g.running--
+		g.mu.Unlock()
+		g.met.running.Dec()
+	}()
+
+	now := g.cfg.now()
+	j.mu.Lock()
+	j.state = StateRunning
+	j.startedAt = now
+	j.mu.Unlock()
+	g.cfg.Flight.Record(flight.EvJob, flight.JobStart, j.num, int64(g.queue.depth()))
+
+	var (
+		rep *pochoir.RunReport
+		err error
+	)
+	if !now.Before(j.deadline) {
+		err = fmt.Errorf("gateway: deadline expired while queued: %w", context.DeadlineExceeded)
+	} else {
+		ctx, cancel := context.WithDeadline(g.baseCtx, j.deadline)
+		opts := pochoir.Options{
+			Metrics:       g.cfg.Metrics,
+			ProgressLabel: j.id,
+		}
+		if g.cfg.Flight != nil {
+			opts.FlightRecorder = g.cfg.Flight
+		}
+		j.inst.Stencil.SetOptions(opts)
+		policy := g.cfg.Supervise
+		if g.cfg.SpillDir != "" {
+			policy.SpillDir = g.cfg.SpillDir + "/" + j.id
+		}
+		rep, err = j.inst.Stencil.RunSupervised(ctx, j.steps, j.inst.Kernel(), policy)
+		cancel()
+	}
+
+	var sum string
+	if err == nil {
+		sum, err = resultChecksum(j.inst, j.steps)
+	}
+
+	now = g.cfg.now()
+	j.mu.Lock()
+	j.finishedAt = now
+	if rep != nil {
+		j.retries = rep.Retries
+		j.degrades = rep.Degradations
+	}
+	if err != nil {
+		j.state = StateFailed
+		j.errText = err.Error()
+	} else {
+		j.state = StateDone
+		j.checksum = sum
+	}
+	latency := now.Sub(j.submittedAt)
+	j.mu.Unlock()
+
+	g.mu.Lock()
+	if g.byKey[j.key] == j {
+		delete(g.byKey, j.key)
+	}
+	g.mu.Unlock()
+	g.tenants.release(j.tenant)
+
+	outcome := "ok"
+	code := int64(flight.JobDone)
+	if err != nil {
+		code = flight.JobFail
+		outcome = "error"
+		if errors.Is(err, context.DeadlineExceeded) {
+			outcome = "deadline"
+		}
+	}
+	g.met.completed(outcome).Inc()
+	g.met.latencyMS.Observe(latency.Milliseconds())
+	g.cfg.Flight.Record(flight.EvJob, code, j.num, int64(g.queue.depth()))
+	close(j.done)
+}
+
+// DrainSummary reports what a graceful drain accomplished.
+type DrainSummary struct {
+	Completed int  `json:"completed"`
+	Failed    int  `json:"failed"`
+	TimedOut  bool `json:"timed_out"`
+}
+
+// Drain gracefully shuts the gateway down: admission stops (submissions are
+// refused with 503), the workers finish every queued and running job (or
+// spill it durably when SpillDir is set), and Drain returns once the pool
+// is idle or ctx expires. It is the SIGTERM path of cmd/pochoird.
+func (g *Gateway) Drain(ctx context.Context) DrainSummary {
+	g.mu.Lock()
+	already := g.draining
+	g.draining = true
+	inflight := int64(g.running + g.queue.depth())
+	g.mu.Unlock()
+	if !already {
+		g.cfg.Flight.Record(flight.EvJob, flight.JobDrainBeg, 0, inflight)
+	}
+	g.queue.close()
+
+	idle := make(chan struct{})
+	go func() {
+		g.workers.Wait()
+		close(idle)
+	}()
+	var sum DrainSummary
+	select {
+	case <-idle:
+	case <-ctx.Done():
+		sum.TimedOut = true
+	}
+
+	g.mu.Lock()
+	for _, j := range g.jobs {
+		j.mu.Lock()
+		switch j.state {
+		case StateDone:
+			sum.Completed++
+		case StateFailed:
+			sum.Failed++
+		}
+		j.mu.Unlock()
+	}
+	g.mu.Unlock()
+	g.cfg.Flight.Record(flight.EvJob, flight.JobDrainEnd, 0, int64(sum.Completed))
+	return sum
+}
+
+// Close hard-stops the gateway: running jobs are cancelled through their
+// contexts, the queue is closed, and the workers are awaited. Tests use it;
+// the daemon prefers Drain.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	g.draining = true
+	g.mu.Unlock()
+	g.cancel()
+	g.queue.close()
+	g.workers.Wait()
+}
+
+// MaxRunning returns the high-water mark of concurrently executing jobs;
+// the smoke test asserts it never exceeds Config.Workers.
+func (g *Gateway) MaxRunning() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.maxRunning
+}
+
+// initArrays fills every array's initial time slots with a deterministic
+// hash-based field: a pure function of (seed, array order, slot, flat
+// index), so identical submissions are identical computations — the
+// foundation coalescing and the fault-absorption bit-identity check stand
+// on.
+func initArrays(inst *compiler.Instance, seed int64) error {
+	depth := inst.Checked.Depth
+	for ai, decl := range inst.Checked.Prog.Arrays {
+		arr := inst.Arrays[decl.Name]
+		buf := make([]float64, arr.PointsPerSlot())
+		for t := 0; t < depth; t++ {
+			h := uint64(seed)*0x9e3779b97f4a7c15 + uint64(ai)<<32 + uint64(t)
+			for i := range buf {
+				h ^= uint64(i) + 0x9e3779b97f4a7c15 + h<<6 + h>>2
+				h *= 0xbf58476d1ce4e5b9
+				buf[i] = float64(h>>11) / float64(1<<53)
+			}
+			if err := arr.CopyIn(t, buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// resultChecksum hashes the final states (times steps..steps+depth-1) of
+// every array in declaration order — the job's bit-identity fingerprint.
+func resultChecksum(inst *compiler.Instance, steps int) (string, error) {
+	h := fnv.New64a()
+	depth := inst.Checked.Depth
+	var b [8]byte
+	for _, decl := range inst.Checked.Prog.Arrays {
+		arr := inst.Arrays[decl.Name]
+		buf := make([]float64, arr.PointsPerSlot())
+		for t := steps; t < steps+depth; t++ {
+			if err := arr.CopyOut(t, buf); err != nil {
+				return "", err
+			}
+			for _, v := range buf {
+				binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+				_, _ = h.Write(b[:])
+			}
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}

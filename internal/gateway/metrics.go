@@ -1,0 +1,53 @@
+package gateway
+
+import "pochoir/internal/metrics"
+
+// gwMetrics is the gateway's instrument set in the shared registry. The
+// per-tenant and per-reason families are materialized lazily (the registry
+// dedupes by name+labels), so a new tenant's first submission mints its
+// counter.
+type gwMetrics struct {
+	reg        *metrics.Registry
+	admitted   *metrics.Counter
+	coalesced  *metrics.Counter
+	queueDepth *metrics.Gauge
+	running    *metrics.Gauge
+	latencyMS  *metrics.Histogram
+}
+
+func newGwMetrics(reg *metrics.Registry) *gwMetrics {
+	return &gwMetrics{
+		reg: reg,
+		admitted: reg.Counter("pochoir_gateway_jobs_admitted_total",
+			"Jobs accepted into the bounded queue."),
+		coalesced: reg.Counter("pochoir_gateway_jobs_coalesced_total",
+			"Submissions joined onto an identical in-flight job."),
+		queueDepth: reg.Gauge("pochoir_gateway_queue_depth",
+			"Jobs admitted but not yet running."),
+		running: reg.Gauge("pochoir_gateway_jobs_running",
+			"Jobs currently executing on the worker pool."),
+		latencyMS: reg.Histogram("pochoir_gateway_job_latency_ms",
+			"End-to-end job latency (submit to terminal state), milliseconds.", 24),
+	}
+}
+
+// submitted returns the per-tenant submission counter.
+func (m *gwMetrics) submitted(tenant string) *metrics.Counter {
+	return m.reg.Counter("pochoir_gateway_jobs_submitted_total",
+		"Job submissions received, accepted or not.",
+		metrics.Label{Key: "tenant", Value: tenant})
+}
+
+// shed returns the per-reason load-shed counter.
+func (m *gwMetrics) shed(reason string) *metrics.Counter {
+	return m.reg.Counter("pochoir_gateway_jobs_shed_total",
+		"Submissions refused by admission control.",
+		metrics.Label{Key: "reason", Value: reason})
+}
+
+// completed returns the per-outcome completion counter.
+func (m *gwMetrics) completed(outcome string) *metrics.Counter {
+	return m.reg.Counter("pochoir_gateway_jobs_completed_total",
+		"Jobs reaching a terminal state.",
+		metrics.Label{Key: "outcome", Value: outcome})
+}

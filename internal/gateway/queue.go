@@ -1,0 +1,111 @@
+package gateway
+
+import "sync"
+
+// Priority orders jobs in the admission queue. Within a priority level the
+// queue is FIFO; a higher level is always drained first.
+type Priority int
+
+const (
+	PriorityHigh Priority = iota
+	PriorityNormal
+	PriorityLow
+	numPriorities
+)
+
+// ParsePriority maps the wire names onto Priority; the empty string is
+// PriorityNormal.
+func ParsePriority(s string) (Priority, bool) {
+	switch s {
+	case "high":
+		return PriorityHigh, true
+	case "", "normal":
+		return PriorityNormal, true
+	case "low":
+		return PriorityLow, true
+	}
+	return PriorityNormal, false
+}
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityHigh:
+		return "high"
+	case PriorityNormal:
+		return "normal"
+	case PriorityLow:
+		return "low"
+	}
+	return "priority(?)"
+}
+
+// jobQueue is the bounded three-level priority queue between admission and
+// the worker pool. Its capacity is the gateway's only buffer: a push against
+// a full queue fails immediately (the caller sheds with 429 + Retry-After)
+// instead of buffering without bound. close() flips the queue into drain
+// mode: pops keep returning queued jobs until the queue is empty, then
+// report closed — exactly the SIGTERM-drain semantics.
+type jobQueue struct {
+	mu       sync.Mutex
+	nonEmpty *sync.Cond
+	cap      int
+	levels   [numPriorities][]*job
+	n        int
+	closed   bool
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	q := &jobQueue{cap: capacity}
+	q.nonEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues j, or reports false when the queue is full or closed.
+func (q *jobQueue) push(j *job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.n >= q.cap {
+		return false
+	}
+	q.levels[j.Priority] = append(q.levels[j.Priority], j)
+	q.n++
+	q.nonEmpty.Signal()
+	return true
+}
+
+// pop blocks until a job is available (highest priority first) or the queue
+// is closed AND empty, reporting ok=false in the latter case.
+func (q *jobQueue) pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for p := range q.levels {
+			if len(q.levels[p]) > 0 {
+				j := q.levels[p][0]
+				q.levels[p] = q.levels[p][1:]
+				q.n--
+				return j, true
+			}
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.nonEmpty.Wait()
+	}
+}
+
+// close flips the queue into drain mode (no further pushes; pops drain the
+// backlog, then report closed). Idempotent.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.nonEmpty.Broadcast()
+}
+
+// depth returns the number of queued (not yet running) jobs.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}

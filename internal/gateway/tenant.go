@@ -1,0 +1,106 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// tenantState is one tenant's admission-control state: a token bucket for
+// submission rate and a count of jobs currently admitted (queued or
+// running) for the concurrency cap. Both are small and per-tenant, so a
+// noisy tenant exhausts its own budget, never the pool's.
+type tenantState struct {
+	mu       sync.Mutex
+	tokens   float64
+	last     time.Time
+	inFlight int
+}
+
+// tenantSet lazily materializes tenantState per tenant name.
+type tenantSet struct {
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+	rate    float64 // tokens per second
+	burst   float64 // bucket capacity
+	maxConc int     // admitted-but-unfinished cap
+	now     func() time.Time
+}
+
+func newTenantSet(rate float64, burst, maxConc int, now func() time.Time) *tenantSet {
+	return &tenantSet{
+		tenants: make(map[string]*tenantState),
+		rate:    rate,
+		burst:   float64(burst),
+		maxConc: maxConc,
+		now:     now,
+	}
+}
+
+func (ts *tenantSet) get(name string) *tenantState {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t, ok := ts.tenants[name]
+	if !ok {
+		// A fresh tenant starts with a full bucket.
+		t = &tenantState{tokens: ts.burst, last: ts.now()}
+		ts.tenants[name] = t
+	}
+	return t
+}
+
+// admit charges one token and one concurrency slot for tenant name.
+// It reports the shed reason ("" = admitted) and, for rate sheds, how long
+// until the next token accrues — the Retry-After hint.
+func (ts *tenantSet) admit(name string) (reason string, retryAfter time.Duration) {
+	t := ts.get(name)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := ts.now()
+	t.tokens += ts.rate * now.Sub(t.last).Seconds()
+	if t.tokens > ts.burst {
+		t.tokens = ts.burst
+	}
+	t.last = now
+	if t.inFlight >= ts.maxConc {
+		return "concurrency", 0
+	}
+	if t.tokens < 1 {
+		need := (1 - t.tokens) / ts.rate
+		return "quota", time.Duration(need * float64(time.Second))
+	}
+	t.tokens--
+	t.inFlight++
+	return "", 0
+}
+
+// chargeToken spends one token without taking a concurrency slot — the
+// coalesced-submission path, which joins an existing run instead of adding
+// one, but must not become a free way around the rate quota.
+func (ts *tenantSet) chargeToken(name string) (ok bool, retryAfter time.Duration) {
+	t := ts.get(name)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := ts.now()
+	t.tokens += ts.rate * now.Sub(t.last).Seconds()
+	if t.tokens > ts.burst {
+		t.tokens = ts.burst
+	}
+	t.last = now
+	if t.tokens < 1 {
+		need := (1 - t.tokens) / ts.rate
+		return false, time.Duration(need * float64(time.Second))
+	}
+	t.tokens--
+	return true, 0
+}
+
+// release returns the concurrency slot taken by admit once the job reaches
+// a terminal state.
+func (ts *tenantSet) release(name string) {
+	t := ts.get(name)
+	t.mu.Lock()
+	if t.inFlight > 0 {
+		t.inFlight--
+	}
+	t.mu.Unlock()
+}

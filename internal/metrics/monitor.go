@@ -87,6 +87,28 @@ type Monitor struct {
 	srv *http.Server
 }
 
+// HardenedServer wraps a handler in an http.Server with full timeout
+// coverage, so a slow or stalled client can never pin a handler goroutine
+// (and its scrape or job state) forever:
+//
+//   - ReadHeaderTimeout/ReadTimeout bound a client trickling its request;
+//   - WriteTimeout bounds a client draining a response one byte at a time
+//     (generous, because /debug/pprof/profile legitimately streams for its
+//     whole profiling window);
+//   - IdleTimeout reclaims keep-alive connections between scrapes.
+//
+// Both the embedded monitor (Serve) and the serving gateway (cmd/pochoird)
+// build their servers through it, so the hardening is shared, not copied.
+func HardenedServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      90 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 // Serve starts the monitor on addr ("127.0.0.1:9600", ":0", ...). The
 // server runs on a background goroutine until Close.
 func Serve(addr string, r *Registry) (*Monitor, error) {
@@ -94,13 +116,7 @@ func Serve(addr string, r *Registry) (*Monitor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("monitor: %w", err)
 	}
-	m := &Monitor{
-		ln: ln,
-		srv: &http.Server{
-			Handler:           NewHandler(r),
-			ReadHeaderTimeout: 5 * time.Second,
-		},
-	}
+	m := &Monitor{ln: ln, srv: HardenedServer(NewHandler(r))}
 	go func() { _ = m.srv.Serve(ln) }()
 	return m, nil
 }

@@ -58,3 +58,28 @@ func TestMonitorCloseIdempotent(t *testing.T) {
 	}
 	m2.Close()
 }
+
+// The monitor's server must carry full timeout coverage — a slow client
+// must not be able to pin a handler goroutine forever — and the shared
+// HardenedServer constructor is where every serving surface gets it.
+func TestMonitorServerHardened(t *testing.T) {
+	r := NewRegistry()
+	m, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := m.srv
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset")
+	}
+	if srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout unset")
+	}
+	if srv.WriteTimeout <= 0 {
+		t.Error("WriteTimeout unset")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset")
+	}
+}

@@ -69,6 +69,15 @@ func (s *Stencil[T]) runMetrics() *metrics.RunMetrics {
 	return s.metSet
 }
 
+// progressLabel resolves the label for this stencil's progress entries:
+// Options.ProgressLabel when set, the caller's default otherwise.
+func (s *Stencil[T]) progressLabel(def string) string {
+	if s.opts.ProgressLabel != "" {
+		return s.opts.ProgressLabel
+	}
+	return def
+}
+
 // gridVolume returns the number of spatial points per time step. The
 // decomposition partitions the space-time box exactly, so a run of n steps
 // executes exactly n*gridVolume base-case points — the progress

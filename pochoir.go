@@ -194,6 +194,12 @@ type Options struct {
 	// Nil — the default — costs one pointer check per instrumentation
 	// point, like Telemetry.
 	Metrics *MetricsRegistry
+	// ProgressLabel overrides the label under which this stencil's runs
+	// appear in the registry's /progressz snapshot (default "run", or
+	// "supervised" for RunSupervised). A service executing many stencils
+	// against one shared registry labels each run with its job id so a
+	// per-job progress view can find it.
+	ProgressLabel string
 	// FlightRecorder overrides the black-box flight recorder this stencil
 	// records into. Nil — the default — uses the process-wide recorder,
 	// which is always on (POCHOIR_FLIGHT=off disables it; the
@@ -503,7 +509,7 @@ func (s *Stencil[T]) runWalker(ctx context.Context, w *core.Walker, steps int) e
 	prog := s.activeProg
 	ownProg := met != nil && prog == nil
 	if ownProg {
-		prog = s.opts.Metrics.StartProgress("run", int64(steps)*s.gridVolume())
+		prog = s.opts.Metrics.StartProgress(s.progressLabel("run"), int64(steps)*s.gridVolume())
 	}
 	w.Prog = prog
 

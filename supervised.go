@@ -90,7 +90,7 @@ func (s *Stencil[T]) RunSupervised(ctx context.Context, steps int, kern Kernel, 
 		// their points (the counter is cumulative, so the published percent
 		// stays monotone), and shadow verification bypasses the walker
 		// entirely so verification work never inflates it.
-		prog := reg.StartProgress("supervised", int64(steps)*s.gridVolume())
+		prog := reg.StartProgress(s.progressLabel("supervised"), int64(steps)*s.gridVolume())
 		s.activeProg = prog
 		defer func() {
 			s.activeProg = nil
