@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench verify fuzz-smoke soak crash-soak monitor-smoke bench-lab flight-smoke gateway-smoke
+.PHONY: build vet test race bench verify fuzz-smoke soak crash-soak monitor-smoke bench-lab flight-smoke gateway-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,7 @@ test:
 # (segment retries, degradation ladder, shadow verification) under the
 # detector.
 race:
-	$(GO) test -race ./internal/core ./internal/sched ./internal/telemetry ./internal/loops ./internal/faultpoint ./internal/resilience ./internal/metrics ./internal/flight ./internal/wire ./internal/compiler ./internal/gateway
+	$(GO) test -race ./internal/core ./internal/sched ./internal/telemetry ./internal/loops ./internal/faultpoint ./internal/resilience ./internal/metrics ./internal/flight ./internal/wire ./internal/compiler ./internal/gateway ./internal/trace
 	$(GO) test -race -run 'Panic|Cancel|Poison|Checkpoint|Restore|Fault|RegisterArray|Supervised|LoopsEngine|Monitor|Progress|Bundle|Recorder|Incident|Resume|Durable' .
 
 # soak runs the supervised-run soak with probabilistic faults armed at the
@@ -107,5 +107,21 @@ flight-smoke:
 # the self-scraped /metrics exposition must stay parseable throughout.
 gateway-smoke:
 	$(GO) test -race -run 'TestGatewaySmoke|TestPochoird' -v ./internal/gateway
+
+# trace-smoke is the causal-tracing acceptance test under the race detector,
+# end to end over real HTTP: a faulted, retried, deadline-bounded job
+# submitted with a caller W3C traceparent must yield one retrievable trace
+# showing the admission decision, compile, queue wait, every segment attempt
+# with its retry cause, and the spill/restore markers — surviving tail
+# sampling through the slow-outlier rule with probabilistic keeps disabled;
+# latency exemplars in /metrics must resolve to live /tracez entries; unknown
+# trace IDs must 404; /statusz must link the incident's trace; and the SLO
+# engine must report a fast-burn breach during a deadline-miss fault window
+# and recover to healthy after it. The trace JSON and rendered waterfall land
+# in ./trace-smoke-out so CI can upload them as artifacts.
+trace-smoke:
+	rm -rf trace-smoke-out && mkdir -p trace-smoke-out
+	POCHOIR_TRACE_SMOKE_OUT=$(CURDIR)/trace-smoke-out \
+		$(GO) test -race -run '^TestTraceSmoke$$' -v ./internal/gateway
 
 verify: build vet test race

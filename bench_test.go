@@ -215,6 +215,60 @@ func BenchmarkSupervisedHeat2D(b *testing.B) {
 	})
 }
 
+// BenchmarkHeat2DTraced is the causal-tracing acceptance benchmark: the
+// supervised Heat 2D workload with a span tree recorded per run (root span,
+// supervised-run span, per-segment and per-attempt spans, checkpoint
+// markers) against the identical workload untraced. Span recording is an
+// append into a preallocated per-trace buffer behind one mutex that only
+// the job's own goroutine touches, so the budget is ≤3% — asserted here
+// when both halves ran, with the same sub-benchtime-noise caveat as the
+// flight-recorder bench; EXPERIMENTS.md records the number from a quiet
+// run.
+func BenchmarkHeat2DTraced(b *testing.B) {
+	const X, Y, steps, seed = 512, 512, 32, 7
+	up := float64(X*Y) * float64(steps)
+	policy := pochoir.SupervisePolicy{SegmentSteps: 8}
+	benchTraced := func(b *testing.B, mkTrace func() *pochoir.ActiveTrace) {
+		b.Helper()
+		b.ReportAllocs()
+		sts := make([]*pochoir.Stencil[float64], b.N)
+		kerns := make([]pochoir.Kernel, b.N)
+		actives := make([]*pochoir.ActiveTrace, b.N)
+		for i := range sts {
+			actives[i] = mkTrace()
+			sts[i], _, kerns[i] = heatStencil(b, pochoir.Options{Trace: actives[i]}, X, Y, seed)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sts[i].RunSupervised(context.Background(), steps, kerns[i], policy); err != nil {
+				b.Fatal(err)
+			}
+			actives[i].End("ok")
+		}
+		b.StopTimer()
+		b.ReportMetric(up*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpts/s")
+	}
+	var offNs, onNs float64
+	b.Run("Off", func(b *testing.B) {
+		benchTraced(b, func() *pochoir.ActiveTrace { return nil })
+		offNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("On", func(b *testing.B) {
+		tracer := pochoir.NewTracer(pochoir.TracerConfig{Seed: 7})
+		benchTraced(b, func() *pochoir.ActiveTrace {
+			return tracer.StartTrace("bench", pochoir.TraceContext{})
+		})
+		onNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	if offNs > 0 && onNs > 0 {
+		overhead := (onNs/offNs - 1) * 100
+		b.ReportMetric(overhead, "overhead_%")
+		if overhead > 3.0 {
+			b.Errorf("tracing costs %.2f%% over untraced, budget is 3%%", overhead)
+		}
+	}
+}
+
 // BenchmarkFig3 regenerates the Fig. 3 table: every benchmark under the
 // four execution regimes of the paper's columns.
 func BenchmarkFig3(b *testing.B) {

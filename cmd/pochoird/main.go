@@ -42,6 +42,10 @@ func main() {
 		maxDl    = flag.Duration("max-deadline", 5*time.Minute, "clamp on client-supplied deadlines")
 		drain    = flag.Duration("drain-timeout", 2*time.Minute, "how long SIGTERM waits for in-flight jobs before giving up")
 		segSteps = flag.Int("segment-steps", 64, "time steps per supervised checkpoint segment (0 = one segment)")
+		noTrace  = flag.Bool("no-trace", false, "disable causal job tracing (/tracez answers 404)")
+		traceCap = flag.Int("trace-capacity", 256, "retained traces served at /tracez (FIFO eviction)")
+		traceSmp = flag.Float64("trace-sample", 0.05, "keep probability for fast successful traces (errors, sheds, and the slow tail are always kept)")
+		sloEvery = flag.Duration("slo-interval", 10*time.Second, "SLO burn-rate sampling period")
 	)
 	flag.Parse()
 
@@ -56,6 +60,13 @@ func main() {
 		Supervise: pochoir.SupervisePolicy{
 			SegmentSteps: *segSteps,
 		},
+	}
+	cfg.SLO.Interval = *sloEvery
+	if !*noTrace {
+		cfg.Trace = pochoir.NewTracer(pochoir.TracerConfig{
+			Capacity:   *traceCap,
+			SampleProb: *traceSmp,
+		})
 	}
 	if *conc > 0 {
 		cfg.TenantMaxConcurrent = *conc

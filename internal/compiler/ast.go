@@ -67,6 +67,9 @@ type Program struct {
 	Params []*Param
 	Arrays []*ArrayDecl
 	Kernel []*Assign
+	// Tokens is how many lexer tokens the source produced — compile-cost
+	// provenance surfaced on trace compile spans.
+	Tokens int
 }
 
 // Param is a named numeric constant.

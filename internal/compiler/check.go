@@ -3,6 +3,7 @@ package compiler
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"pochoir/internal/shape"
 )
@@ -178,4 +179,30 @@ func CompileSource(src string) (*Checked, error) {
 		return nil, err
 	}
 	return Check(prog)
+}
+
+// Stats describes one compilation's cost — the annotations a compile span
+// carries so "why was this job's admission slow" is answerable from the
+// trace alone.
+type Stats struct {
+	SourceBytes int
+	Tokens      int
+	CompileNS   int64
+}
+
+// CompileSourceStats is CompileSource plus cost accounting.
+func CompileSourceStats(src string) (*Checked, Stats, error) {
+	st := Stats{SourceBytes: len(src)}
+	begin := time.Now()
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Tokens = prog.Tokens
+	c, err := Check(prog)
+	st.CompileNS = time.Since(begin).Nanoseconds()
+	if err != nil {
+		return nil, st, err
+	}
+	return c, st, nil
 }

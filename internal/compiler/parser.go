@@ -26,6 +26,7 @@ func Parse(src string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	prog.Tokens = len(toks)
 	return prog, nil
 }
 

@@ -134,6 +134,14 @@ type Bundle struct {
 	// for a fresh process.
 	Resume *ResumeHint `json:"resume,omitempty"`
 
+	// TraceID names the causal trace of the failing run, and Trace embeds
+	// its live snapshot (trace.Export JSON, schema pochoir-trace/v1) when
+	// tracing was armed — the incident's span tree down to the failing
+	// segment attempt, even though the trace never reached the tail
+	// sampler.
+	TraceID string          `json:"trace_id,omitempty"`
+	Trace   json.RawMessage `json:"trace,omitempty"`
+
 	// Goroutines is a full goroutine dump captured at incident time.
 	Goroutines string `json:"goroutines,omitempty"`
 }
@@ -171,11 +179,15 @@ type Incident struct {
 }
 
 // IncidentSummary is the compact /statusz view of the last incident.
+// TraceID and TraceURL point at the incident's causal trace when the
+// failing run was traced: the ID resolves at /tracez/<id>.
 type IncidentSummary struct {
-	Time  time.Time `json:"time"`
-	Cause string    `json:"cause"`
-	Error string    `json:"error,omitempty"`
-	Path  string    `json:"bundle_path,omitempty"`
+	Time     time.Time `json:"time"`
+	Cause    string    `json:"cause"`
+	Error    string    `json:"error,omitempty"`
+	Path     string    `json:"bundle_path,omitempty"`
+	TraceID  string    `json:"trace_id,omitempty"`
+	TraceURL string    `json:"trace_url,omitempty"`
 }
 
 var (
@@ -196,7 +208,12 @@ func LastIncidentSummary() *IncidentSummary {
 	if inc == nil {
 		return nil
 	}
-	return &IncidentSummary{Time: inc.Time, Cause: inc.Cause.Kind, Error: inc.Cause.Error, Path: inc.Path}
+	s := &IncidentSummary{Time: inc.Time, Cause: inc.Cause.Kind, Error: inc.Cause.Error, Path: inc.Path}
+	if inc.Bundle != nil && inc.Bundle.TraceID != "" {
+		s.TraceID = inc.Bundle.TraceID
+		s.TraceURL = "/tracez/" + inc.Bundle.TraceID
+	}
+	return s
 }
 
 // ResetLastIncident clears the last-incident record (tests).

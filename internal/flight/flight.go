@@ -86,6 +86,11 @@ const (
 	// at the transition. A crashed daemon's post-mortem bundle therefore
 	// names the jobs that were in flight.
 	EvJob
+	// EvSLO is one SLO burn-rate transition from the metrics SLO engine:
+	// A0 = severity (0 recovered, 1 slow-burn breach, 2 fast-burn breach),
+	// A1 = objective index in registration order, A2 = burn rate ×1000 of
+	// the window that tripped.
+	EvSLO
 
 	numKinds
 )
@@ -100,6 +105,7 @@ var kindNames = [numKinds]string{
 	EvSup:      "sup",
 	EvFault:    "fault",
 	EvJob:      "job",
+	EvSLO:      "slo",
 }
 
 func (k Kind) String() string {
@@ -254,6 +260,15 @@ func (e Event) Describe() string {
 		return fmt.Sprintf("faultpoint fired at %s depth=%d", site, e.A1)
 	case EvJob:
 		return fmt.Sprintf("job %s id=%d queue=%d", jobCodeName(e.A0), e.A1, e.A2)
+	case EvSLO:
+		sev := "recovered"
+		switch e.A0 {
+		case 1:
+			sev = "slow-burn breach"
+		case 2:
+			sev = "fast-burn breach"
+		}
+		return fmt.Sprintf("slo %s objective=%d burn=%d.%03d", sev, e.A1, e.A2/1000, e.A2%1000)
 	}
 	return fmt.Sprintf("%s a0=%d a1=%d a2=%d", e.Kind, e.A0, e.A1, e.A2)
 }

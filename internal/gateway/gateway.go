@@ -42,6 +42,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -49,6 +50,7 @@ import (
 	"pochoir/internal/compiler"
 	"pochoir/internal/flight"
 	"pochoir/internal/metrics"
+	"pochoir/internal/trace"
 )
 
 // Config configures a Gateway. The zero value is usable; see the field
@@ -97,6 +99,16 @@ type Config struct {
 	// Flight is the black-box recorder job lifecycle events are stamped
 	// into; nil uses the process-wide default recorder.
 	Flight *flight.Recorder
+	// Trace, when non-nil, gives every submission an end-to-end causal
+	// trace: admission, compile, queue wait, and every supervised segment
+	// attempt, tail-sampled into the tracer's retained store and served at
+	// /tracez. Nil disables tracing (and /tracez answers 404).
+	Trace *trace.Tracer
+	// SLO tunes the burn-rate engine evaluating the gateway's built-in
+	// objectives (99% of jobs under 500ms, 99.9% of jobs succeeding). The
+	// zero value uses the SRE-workbook defaults; its Flight field defaults
+	// to the gateway's recorder so breaches land in post-mortem bundles.
+	SLO metrics.SLOConfig
 
 	// now overrides the clock (tests).
 	now func() time.Time
@@ -176,6 +188,12 @@ type Submission struct {
 	// Seed parameterizes the deterministic initial condition, so distinct
 	// seeds are distinct computations (and identical seeds coalesce).
 	Seed int64 `json:"seed,omitempty"`
+
+	// TraceParent is the caller's W3C trace context, parsed by the HTTP
+	// layer from the traceparent header. It deliberately stays out of the
+	// JSON body (and out of jobKey): propagation context never changes
+	// what a computation is, so it must not defeat coalescing.
+	TraceParent trace.Context `json:"-"`
 }
 
 // SubmitError is a rejected submission: the HTTP status to serve, the shed
@@ -185,6 +203,10 @@ type SubmitError struct {
 	Reason     string
 	RetryAfter time.Duration
 	Err        error
+	// Traceparent is the refused submission's trace context — refusals are
+	// always retained by the tail sampler, so the client can still pull
+	// the shed trace from /tracez.
+	Traceparent string
 }
 
 func (e *SubmitError) Error() string {
@@ -205,6 +227,11 @@ type JobStatus struct {
 	Steps     int      `json:"steps"`
 	Sizes     []int    `json:"sizes"`
 	Coalesced int      `json:"coalesced"`
+
+	// TraceID and Traceparent identify the job's causal trace; the trace
+	// itself (if sampled in, or still live) is at /tracez/<trace_id>.
+	TraceID     string `json:"trace_id,omitempty"`
+	Traceparent string `json:"traceparent,omitempty"`
 
 	QueuedSeconds float64 `json:"queued_seconds"`
 	RunSeconds    float64 `json:"run_seconds"`
@@ -233,6 +260,12 @@ type job struct {
 
 	inst *compiler.Instance
 
+	// trace is the job's causal trace (nil when tracing is disabled) and
+	// queueSpan its open queue-wait span, closed when a worker pops it.
+	// Both are set before the job is published and immutable after.
+	trace     *trace.Active
+	queueSpan trace.SpanID
+
 	mu          sync.Mutex
 	state       JobState
 	submittedAt time.Time
@@ -255,10 +288,18 @@ type Gateway struct {
 	met     *gwMetrics
 	queue   *jobQueue
 	tenants *tenantSet
+	slo     *metrics.SLOEngine
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	workers sync.WaitGroup
+
+	// recentWaits is a small ring of observed queue waits; its median
+	// folds into Retry-After hints so a shed client backs off by how long
+	// the queue actually is, not just a static guess.
+	waitMu      sync.Mutex
+	recentWaits []time.Duration
+	waitIdx     int
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -270,9 +311,12 @@ type Gateway struct {
 	maxRunning int // high-water mark; tests assert it never exceeds Workers
 }
 
-// New builds a gateway and starts its worker pool.
+// New builds a gateway and starts its worker pool and SLO evaluator.
 func New(cfg Config) *Gateway {
 	cfg = cfg.withDefaults()
+	if cfg.SLO.Flight == nil {
+		cfg.SLO.Flight = cfg.Flight
+	}
 	g := &Gateway{
 		cfg:     cfg,
 		met:     newGwMetrics(cfg.Metrics),
@@ -281,6 +325,13 @@ func New(cfg Config) *Gateway {
 		jobs:    make(map[string]*job),
 		byKey:   make(map[uint64]*job),
 	}
+	g.slo = metrics.NewSLO(cfg.Metrics, cfg.SLO)
+	g.slo.Add(metrics.LatencyObjective("job-latency-500ms", g.met.latencyMS, 500, 0.99))
+	okC, errC, dlC := g.met.completed("ok"), g.met.completed("error"), g.met.completed("deadline")
+	g.slo.Add(metrics.RatioObjective("job-success", 0.999,
+		func() int64 { return okC.Value() },
+		func() int64 { return okC.Value() + errC.Value() + dlC.Value() }))
+	g.slo.Start()
 	g.baseCtx, g.cancel = context.WithCancel(context.Background())
 	g.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -288,6 +339,12 @@ func New(cfg Config) *Gateway {
 	}
 	return g
 }
+
+// SLO returns the gateway's burn-rate engine (serving /slo via the monitor).
+func (g *Gateway) SLO() *metrics.SLOEngine { return g.slo }
+
+// Tracer returns the causal tracer, or nil when tracing is disabled.
+func (g *Gateway) Tracer() *trace.Tracer { return g.cfg.Trace }
 
 // Registry returns the shared metrics registry (for mounting a monitor).
 func (g *Gateway) Registry() *metrics.Registry { return g.cfg.Metrics }
@@ -328,24 +385,33 @@ func (g *Gateway) Submit(tenant string, sub Submission) (*JobStatus, *SubmitErro
 	g.met.submitted(tenant).Inc()
 	g.cfg.Flight.Record(flight.EvJob, flight.JobSubmit, 0, int64(g.queue.depth()))
 
+	prio, _ := ParsePriority(sub.Priority)
+	// The trace opens before the first admission gate: a refused submission
+	// ends with a shed/error status, which the tail sampler always keeps,
+	// so "why was my job refused" is answerable from /tracez.
+	tr := g.cfg.Trace.StartTrace("job", sub.TraceParent,
+		trace.Attr{Key: "tenant", Value: tenant},
+		trace.Attr{Key: "priority", Value: prio.String()})
+	admitSpan := tr.StartSpan("admission", trace.SpanID{})
+
 	// Front-door validation, before any lock: the compiler's input limits
 	// bound the parse, and the grid/step caps bound the allocation.
-	checked, serr := g.validate(sub)
+	checked, serr := g.validate(sub, tr, admitSpan)
 	if serr != nil {
 		if serr.Code == 429 || serr.Code == 503 {
 			g.shed(serr.Reason)
 		}
-		return nil, serr
+		return nil, g.refuse(tr, admitSpan, serr)
 	}
 
 	key := jobKey(sub)
-	prio, _ := ParsePriority(sub.Priority)
 
 	g.mu.Lock()
 	if g.draining {
 		g.mu.Unlock()
 		g.shed("draining")
-		return nil, &SubmitError{Code: 503, Reason: "draining", RetryAfter: g.cfg.RetryAfter}
+		return nil, g.refuse(tr, admitSpan,
+			&SubmitError{Code: 503, Reason: "draining", RetryAfter: g.cfg.RetryAfter})
 	}
 	if prev, ok := g.byKey[key]; ok {
 		g.mu.Unlock()
@@ -354,23 +420,17 @@ func (g *Gateway) Submit(tenant string, sub Submission) (*JobStatus, *SubmitErro
 		// but no new concurrency slot is taken.
 		if ok, retry := g.tenants.chargeToken(tenant); !ok {
 			g.shed("quota")
-			return nil, &SubmitError{Code: 429, Reason: "quota", RetryAfter: retry}
+			return nil, g.refuse(tr, admitSpan,
+				&SubmitError{Code: 429, Reason: "quota", RetryAfter: g.retryHint("quota", retry)})
 		}
-		prev.mu.Lock()
-		prev.coalesced++
-		prev.mu.Unlock()
-		g.met.coalesced.Inc()
-		g.cfg.Flight.Record(flight.EvJob, flight.JobCoalesce, prev.num, int64(g.queue.depth()))
-		return g.status(prev), nil
+		return g.join(tr, admitSpan, prev), nil
 	}
 	g.mu.Unlock()
 
 	if reason, retry := g.tenants.admit(tenant); reason != "" {
-		if retry == 0 {
-			retry = g.cfg.RetryAfter
-		}
 		g.shed(reason)
-		return nil, &SubmitError{Code: 429, Reason: reason, RetryAfter: retry}
+		return nil, g.refuse(tr, admitSpan,
+			&SubmitError{Code: 429, Reason: reason, RetryAfter: g.retryHint(reason, retry)})
 	}
 
 	// Materialize the instance (arrays + deterministic initial condition)
@@ -378,11 +438,11 @@ func (g *Gateway) Submit(tenant string, sub Submission) (*JobStatus, *SubmitErro
 	inst, err := checked.NewInstance(sub.Sizes...)
 	if err != nil {
 		g.tenants.release(tenant)
-		return nil, &SubmitError{Code: 400, Reason: "bad_spec", Err: err}
+		return nil, g.refuse(tr, admitSpan, &SubmitError{Code: 400, Reason: "bad_spec", Err: err})
 	}
 	if err := initArrays(inst, sub.Seed); err != nil {
 		g.tenants.release(tenant)
-		return nil, &SubmitError{Code: 400, Reason: "bad_spec", Err: err}
+		return nil, g.refuse(tr, admitSpan, &SubmitError{Code: 400, Reason: "bad_spec", Err: err})
 	}
 
 	deadline := time.Duration(sub.DeadlineMS) * time.Millisecond
@@ -393,24 +453,21 @@ func (g *Gateway) Submit(tenant string, sub Submission) (*JobStatus, *SubmitErro
 		deadline = g.cfg.MaxDeadline
 	}
 
+	tr.EndSpan(admitSpan, trace.StatusOK)
 	g.mu.Lock()
 	if g.draining {
 		g.mu.Unlock()
 		g.tenants.release(tenant)
 		g.shed("draining")
-		return nil, &SubmitError{Code: 503, Reason: "draining", RetryAfter: g.cfg.RetryAfter}
+		return nil, g.refuse(tr, admitSpan,
+			&SubmitError{Code: 503, Reason: "draining", RetryAfter: g.cfg.RetryAfter})
 	}
 	// Re-check the coalesce map: an identical submission may have landed
 	// while the instance was being built.
 	if prev, ok := g.byKey[key]; ok {
 		g.mu.Unlock()
 		g.tenants.release(tenant)
-		prev.mu.Lock()
-		prev.coalesced++
-		prev.mu.Unlock()
-		g.met.coalesced.Inc()
-		g.cfg.Flight.Record(flight.EvJob, flight.JobCoalesce, prev.num, int64(g.queue.depth()))
-		return g.status(prev), nil
+		return g.join(tr, admitSpan, prev), nil
 	}
 	g.jobSeq++
 	now := g.cfg.now()
@@ -428,12 +485,18 @@ func (g *Gateway) Submit(tenant string, sub Submission) (*JobStatus, *SubmitErro
 		state:       StateQueued,
 		submittedAt: now,
 		done:        make(chan struct{}),
+		trace:       tr,
 	}
+	// The queue-wait span must exist before the job is published: a worker
+	// may pop it the instant push returns.
+	j.queueSpan = tr.StartSpan("queue-wait", trace.SpanID{},
+		trace.Attr{Key: "priority", Value: prio.String()})
 	if !g.queue.push(j) {
 		g.mu.Unlock()
 		g.tenants.release(tenant)
 		g.shed("queue_full")
-		return nil, &SubmitError{Code: 429, Reason: "queue_full", RetryAfter: g.cfg.RetryAfter}
+		return nil, g.refuse(tr, admitSpan,
+			&SubmitError{Code: 429, Reason: "queue_full", RetryAfter: g.retryHint("queue_full", 0)})
 	}
 	g.jobs[j.id] = j
 	g.byKey[key] = j
@@ -445,20 +508,65 @@ func (g *Gateway) Submit(tenant string, sub Submission) (*JobStatus, *SubmitErro
 	return g.status(j), nil
 }
 
-// validate runs the front-door checks and compiles the spec.
-func (g *Gateway) validate(sub Submission) (*compiler.Checked, *SubmitError) {
+// join records one coalesced submission onto the in-flight primary: the
+// joiner's trace ends as "coalesced" with a link-span to the primary's
+// trace, the primary's trace gets the reverse link, and the caller is
+// served the primary's status. Link-carrying traces are always retained,
+// so the cross-job causality survives the tail sampler on both sides.
+func (g *Gateway) join(tr *trace.Active, admitSpan trace.SpanID, prev *job) *JobStatus {
+	prev.mu.Lock()
+	prev.coalesced++
+	prev.mu.Unlock()
+	g.met.coalesced.Inc()
+	g.cfg.Flight.Record(flight.EvJob, flight.JobCoalesce, prev.num, int64(g.queue.depth()))
+	if tr != nil {
+		tr.LinkSpan("coalesce-join", admitSpan, prev.trace.TraceID(),
+			trace.Attr{Key: "job", Value: prev.id})
+		tr.EndSpan(admitSpan, trace.StatusOK, trace.Attr{Key: "reason", Value: "coalesced"})
+		prev.trace.LinkSpan("coalesced-submission", trace.SpanID{}, tr.TraceID())
+		tr.End(trace.StatusCoalesced, trace.Attr{Key: "primary", Value: prev.id})
+	}
+	return g.status(prev)
+}
+
+// refuse finalizes a refused submission's trace — shed (429/503) or error
+// (4xx) status, both kept unconditionally by the tail sampler — and stamps
+// the trace context into the error so the HTTP layer can echo it.
+func (g *Gateway) refuse(tr *trace.Active, admitSpan trace.SpanID, serr *SubmitError) *SubmitError {
+	if tr == nil {
+		return serr
+	}
+	status := trace.StatusError
+	if serr.Code == 429 || serr.Code == 503 {
+		status = trace.StatusShed
+	}
+	tr.Mark("refused", admitSpan, status, trace.Attr{Key: "reason", Value: serr.Reason})
+	tr.EndSpan(admitSpan, status)
+	tr.End(status)
+	serr.Traceparent = tr.Context().Traceparent()
+	return serr
+}
+
+// validate runs the front-door checks and compiles the spec, recording the
+// compile as a child span of the admission decision.
+func (g *Gateway) validate(sub Submission, tr *trace.Active, admitSpan trace.SpanID) (*compiler.Checked, *SubmitError) {
 	if int64(len(sub.Spec)) > g.cfg.MaxBodyBytes {
 		return nil, &SubmitError{Code: 413, Reason: "spec_too_large",
 			Err: fmt.Errorf("spec of %d bytes exceeds the %d byte cap", len(sub.Spec), g.cfg.MaxBodyBytes)}
 	}
-	checked, err := compiler.CompileSource(sub.Spec)
+	cspan := tr.StartSpan("compile", admitSpan)
+	checked, cst, err := compiler.CompileSourceStats(sub.Spec)
 	if err != nil {
+		tr.EndSpan(cspan, trace.StatusError, trace.Attr{Key: "cause", Value: err.Error()})
 		var le *compiler.LimitError
 		if errors.As(err, &le) {
 			return nil, &SubmitError{Code: 413, Reason: "spec_limit", Err: err}
 		}
 		return nil, &SubmitError{Code: 400, Reason: "bad_spec", Err: err}
 	}
+	tr.EndSpan(cspan, trace.StatusOK,
+		trace.Attr{Key: "source_bytes", Value: strconv.Itoa(cst.SourceBytes)},
+		trace.Attr{Key: "tokens", Value: strconv.Itoa(cst.Tokens)})
 	if sub.Steps <= 0 || sub.Steps > g.cfg.MaxSteps {
 		return nil, &SubmitError{Code: 400, Reason: "bad_steps",
 			Err: fmt.Errorf("steps %d outside (0, %d]", sub.Steps, g.cfg.MaxSteps)}
@@ -486,6 +594,67 @@ func (g *Gateway) validate(sub Submission) (*compiler.Checked, *SubmitError) {
 func (g *Gateway) shed(reason string) {
 	g.met.shed(reason).Inc()
 	g.cfg.Flight.Record(flight.EvJob, flight.JobShed, 0, int64(g.queue.depth()))
+}
+
+// queueWaitRingSize bounds the observed-wait history behind Retry-After.
+const queueWaitRingSize = 64
+
+// recordQueueWait feeds one observed queue wait into the hint ring.
+func (g *Gateway) recordQueueWait(d time.Duration) {
+	g.waitMu.Lock()
+	if len(g.recentWaits) < queueWaitRingSize {
+		g.recentWaits = append(g.recentWaits, d)
+	} else {
+		g.recentWaits[g.waitIdx] = d
+		g.waitIdx = (g.waitIdx + 1) % queueWaitRingSize
+	}
+	g.waitMu.Unlock()
+}
+
+// queueWaitMedian returns the median observed queue wait, 0 with no history.
+func (g *Gateway) queueWaitMedian() time.Duration {
+	g.waitMu.Lock()
+	tmp := append([]time.Duration(nil), g.recentWaits...)
+	g.waitMu.Unlock()
+	if len(tmp) == 0 {
+		return 0
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	return tmp[len(tmp)/2]
+}
+
+// retryHint folds the observed queue-wait median into a shed's Retry-After:
+// a quota shed must wait for the token refill AND then ride the queue, so
+// the hint is their sum; a queue-full shed is bounded below by the static
+// hint but grows to the median once the queue is demonstrably slower —
+// retrying before a queue-length of time has passed cannot succeed.
+func (g *Gateway) retryHint(reason string, refill time.Duration) time.Duration {
+	med := g.queueWaitMedian()
+	switch reason {
+	case "quota":
+		if refill <= 0 {
+			refill = g.cfg.RetryAfter
+		}
+		return refill + med
+	case "queue_full":
+		if med > g.cfg.RetryAfter {
+			return med
+		}
+		return g.cfg.RetryAfter
+	default:
+		if refill > 0 {
+			return refill
+		}
+		return g.cfg.RetryAfter
+	}
+}
+
+// traceIDOf renders a job trace's ID for exemplars ("" when untraced).
+func traceIDOf(a *trace.Active) string {
+	if a == nil {
+		return ""
+	}
+	return a.TraceID().String()
 }
 
 // Job returns the status of a job by id, or nil when unknown.
@@ -547,6 +716,10 @@ func (g *Gateway) status(j *job) *JobStatus {
 		Error:        j.errText,
 		Retries:      j.retries,
 		Degradations: j.degrades,
+	}
+	if j.trace != nil {
+		st.TraceID = j.trace.TraceID().String()
+		st.Traceparent = j.trace.Context().Traceparent()
 	}
 	now := g.cfg.now()
 	switch {
@@ -610,8 +783,13 @@ func (g *Gateway) runJob(j *job) {
 	j.mu.Lock()
 	j.state = StateRunning
 	j.startedAt = now
+	wait := now.Sub(j.submittedAt)
 	j.mu.Unlock()
 	g.cfg.Flight.Record(flight.EvJob, flight.JobStart, j.num, int64(g.queue.depth()))
+	j.trace.EndSpan(j.queueSpan, trace.StatusOK)
+	g.recordQueueWait(wait)
+	g.met.queueWait(j.Priority.String()).ObserveExemplar(
+		wait.Milliseconds(), traceIDOf(j.trace), now.UnixNano())
 
 	var (
 		rep *pochoir.RunReport
@@ -619,11 +797,13 @@ func (g *Gateway) runJob(j *job) {
 	)
 	if !now.Before(j.deadline) {
 		err = fmt.Errorf("gateway: deadline expired while queued: %w", context.DeadlineExceeded)
+		j.trace.Mark("deadline-expired-queued", trace.SpanID{}, trace.StatusDeadline)
 	} else {
 		ctx, cancel := context.WithDeadline(g.baseCtx, j.deadline)
 		opts := pochoir.Options{
 			Metrics:       g.cfg.Metrics,
 			ProgressLabel: j.id,
+			Trace:         j.trace,
 		}
 		if g.cfg.Flight != nil {
 			opts.FlightRecorder = g.cfg.Flight
@@ -676,7 +856,21 @@ func (g *Gateway) runJob(j *job) {
 		}
 	}
 	g.met.completed(outcome).Inc()
-	g.met.latencyMS.Observe(latency.Milliseconds())
+	g.met.latencyMS.ObserveExemplar(latency.Milliseconds(), traceIDOf(j.trace), now.UnixNano())
+	if j.trace != nil {
+		status := trace.StatusOK
+		switch outcome {
+		case "deadline":
+			status = trace.StatusDeadline
+		case "error":
+			status = trace.StatusError
+		}
+		attrs := []trace.Attr{{Key: "job", Value: j.id}, {Key: "outcome", Value: outcome}}
+		if err != nil {
+			attrs = append(attrs, trace.Attr{Key: "cause", Value: err.Error()})
+		}
+		j.trace.End(status, attrs...)
+	}
 	g.cfg.Flight.Record(flight.EvJob, code, j.num, int64(g.queue.depth()))
 	close(j.done)
 }
@@ -727,6 +921,7 @@ func (g *Gateway) Drain(ctx context.Context) DrainSummary {
 		j.mu.Unlock()
 	}
 	g.mu.Unlock()
+	g.slo.Close()
 	g.cfg.Flight.Record(flight.EvJob, flight.JobDrainEnd, 0, int64(sum.Completed))
 	return sum
 }
@@ -741,6 +936,7 @@ func (g *Gateway) Close() {
 	g.cancel()
 	g.queue.close()
 	g.workers.Wait()
+	g.slo.Close()
 }
 
 // MaxRunning returns the high-water mark of concurrently executing jobs;

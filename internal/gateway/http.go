@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"pochoir/internal/metrics"
+	"pochoir/internal/trace"
 )
 
 // shedResponse is the JSON body of every refused submission.
@@ -25,7 +26,9 @@ type shedResponse struct {
 
 // NewHandler builds the gateway's HTTP surface:
 //
-//	POST /jobs       submit a Submission (tenant from X-Tenant); 202 + status
+//	POST /jobs       submit a Submission (tenant from X-Tenant, trace
+//	                 context from traceparent); 202 + status, traceparent
+//	                 echoed (or minted) on the response
 //	GET  /jobs       list job statuses
 //	GET  /jobs/{id}  one job's status, including its live run progress
 //	GET  /healthz    200 while admitting, 503 while draining
@@ -48,6 +51,16 @@ func NewHandler(g *Gateway) http.Handler {
 			writeJSON(w, code, shedResponse{Error: err.Error(), Reason: "bad_request"})
 			return
 		}
+		// A caller-supplied W3C traceparent joins the job to the caller's
+		// distributed trace; a malformed one is rejected explicitly rather
+		// than silently starting a fresh trace.
+		tp, err := trace.ParseTraceparent(r.Header.Get("traceparent"))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				shedResponse{Error: err.Error(), Reason: "bad_traceparent"})
+			return
+		}
+		sub.TraceParent = tp
 		st, serr := g.Submit(r.Header.Get("X-Tenant"), sub)
 		if serr != nil {
 			if serr.RetryAfter > 0 {
@@ -57,8 +70,14 @@ func NewHandler(g *Gateway) http.Handler {
 				}
 				w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 			}
+			if serr.Traceparent != "" {
+				w.Header().Set("traceparent", serr.Traceparent)
+			}
 			writeJSON(w, serr.Code, shedResponse{Error: serr.Error(), Reason: serr.Reason})
 			return
+		}
+		if st.Traceparent != "" {
+			w.Header().Set("traceparent", st.Traceparent)
 		}
 		writeJSON(w, http.StatusAccepted, st)
 	})
@@ -101,9 +120,13 @@ func NewHandler(g *Gateway) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 
-	// Everything else — /metrics, /progressz, /debug/pprof/... — is the
-	// registry's monitor surface.
-	mux.Handle("/", metrics.NewHandler(g.Registry()))
+	// Everything else — /metrics, /progressz, /slo, /tracez (when tracing
+	// is on), /debug/pprof/... — is the registry's monitor surface.
+	monOpts := []metrics.HandlerOption{metrics.WithSLO(g.SLO())}
+	if tr := g.Tracer(); tr != nil {
+		monOpts = append(monOpts, metrics.WithTracez(trace.Handler(tr)))
+	}
+	mux.Handle("/", metrics.NewHandler(g.Registry(), monOpts...))
 	return mux
 }
 

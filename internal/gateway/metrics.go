@@ -45,6 +45,15 @@ func (m *gwMetrics) shed(reason string) *metrics.Counter {
 		metrics.Label{Key: "reason", Value: reason})
 }
 
+// queueWait returns the per-priority queue-wait histogram. The exemplar on
+// each bucket names the trace of a recent job that landed there, so a slow
+// wait in /metrics resolves to its waterfall at /tracez.
+func (m *gwMetrics) queueWait(priority string) *metrics.Histogram {
+	return m.reg.Histogram("pochoir_gateway_queue_wait_ms",
+		"Time jobs spent queued before a worker picked them up, milliseconds.", 24,
+		metrics.Label{Key: "priority", Value: priority})
+}
+
 // completed returns the per-outcome completion counter.
 func (m *gwMetrics) completed(outcome string) *metrics.Counter {
 	return m.reg.Counter("pochoir_gateway_jobs_completed_total",

@@ -1,0 +1,151 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+
+	"pochoir/internal/metrics"
+	"pochoir/internal/trace"
+)
+
+// TestCoalescedJobLinkSpans pins the cross-trace causality contract of
+// coalescing: the joiner's trace must end "coalesced" carrying a link-span
+// to the primary's trace, the primary's trace must carry the reverse link,
+// and both must survive the tail sampler even with probabilistic sampling
+// disabled — link-carrying traces are always kept.
+func TestCoalescedJobLinkSpans(t *testing.T) {
+	tracer := trace.New(trace.Config{Seed: 11, SampleProb: -1})
+	g := New(Config{
+		Workers:             1,
+		QueueDepth:          8,
+		Metrics:             metrics.NewRegistry(),
+		Trace:               tracer,
+		TenantBurst:         1000,
+		TenantMaxConcurrent: 1000,
+	})
+	defer g.Close()
+
+	// Occupy the single worker so the primary stays queued while its
+	// duplicate arrives.
+	blocker, serr := g.Submit("a", sub(3000, 512, 1))
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	primary, serr := g.Submit("a", sub(200, 64, 42))
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	joiner, serr := g.Submit("a", sub(200, 64, 42))
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if joiner.ID != primary.ID {
+		t.Fatalf("identical submission did not coalesce: %s vs %s", joiner.ID, primary.ID)
+	}
+	if joiner.Coalesced != 1 {
+		t.Fatalf("coalesced count = %d, want 1", joiner.Coalesced)
+	}
+	waitDone(t, g, blocker.ID)
+	if st := waitDone(t, g, primary.ID); st.State != StateDone {
+		t.Fatalf("primary failed: %+v", st)
+	}
+
+	pid, err := trace.ParseTraceID(primary.TraceID)
+	if err != nil {
+		t.Fatalf("primary trace id %q: %v", primary.TraceID, err)
+	}
+	ptr := tracer.Get(pid)
+	if ptr == nil {
+		t.Fatalf("primary trace %s not retained", primary.TraceID)
+	}
+	if ptr.KeepReason != "link" {
+		t.Fatalf("primary keep reason %q, want \"link\" (a fast ok trace survives only through its link)", ptr.KeepReason)
+	}
+	var back *trace.Span
+	for i := range ptr.Spans {
+		if ptr.Spans[i].Name == "coalesced-submission" {
+			back = &ptr.Spans[i]
+		}
+	}
+	if back == nil {
+		t.Fatal("primary trace has no coalesced-submission link-span")
+	}
+
+	var jtr *trace.Trace
+	for _, cand := range tracer.Traces() {
+		if cand.Status == trace.StatusCoalesced {
+			jtr = cand
+			break
+		}
+	}
+	if jtr == nil {
+		t.Fatal("no coalesced trace retained for the joiner")
+	}
+	if back.Link != jtr.ID {
+		t.Fatalf("reverse link %s != joiner trace %s", back.Link, jtr.ID)
+	}
+	var fwd *trace.Span
+	for i := range jtr.Spans {
+		if jtr.Spans[i].Name == "coalesce-join" {
+			fwd = &jtr.Spans[i]
+		}
+	}
+	if fwd == nil {
+		t.Fatal("joiner trace has no coalesce-join link-span")
+	}
+	if fwd.Link != pid {
+		t.Fatalf("forward link %s != primary trace %s", fwd.Link, pid)
+	}
+	if got := fwd.Attr("job"); got != primary.ID {
+		t.Fatalf("coalesce-join job attr %q, want %q", got, primary.ID)
+	}
+	if root := jtr.Find(jtr.Root); root == nil || root.Attr("primary") != primary.ID {
+		t.Fatalf("joiner root does not name the primary job %q", primary.ID)
+	}
+}
+
+// TestRetryAfterFoldsQueueWait pins the Retry-After fold in both regimes:
+// with no (or a fast) wait history the static hints dominate — quota sheds
+// return the token refill time, queue-full sheds the configured floor —
+// and once the observed median queue wait grows past them, it folds in:
+// quota = refill + median, queue_full = median.
+func TestRetryAfterFoldsQueueWait(t *testing.T) {
+	g := New(Config{Metrics: metrics.NewRegistry(), RetryAfter: time.Second})
+	defer g.Close()
+
+	// Regime 1 — fast queue: static hints win.
+	if got := g.retryHint("quota", 200*time.Millisecond); got != 200*time.Millisecond {
+		t.Fatalf("quota hint with no history = %v, want the 200ms refill", got)
+	}
+	if got := g.retryHint("queue_full", 0); got != time.Second {
+		t.Fatalf("queue_full hint with no history = %v, want the 1s floor", got)
+	}
+	for i := 0; i < 5; i++ {
+		g.recordQueueWait(10 * time.Millisecond)
+	}
+	if got := g.retryHint("quota", 200*time.Millisecond); got != 210*time.Millisecond {
+		t.Fatalf("quota hint = %v, want refill+median = 210ms", got)
+	}
+	if got := g.retryHint("queue_full", 0); got != time.Second {
+		t.Fatalf("queue_full hint = %v, want the 1s floor over a 10ms median", got)
+	}
+
+	// Regime 2 — slow queue: the observed median folds in.
+	for i := 0; i < 20; i++ {
+		g.recordQueueWait(3 * time.Second)
+	}
+	if med := g.queueWaitMedian(); med != 3*time.Second {
+		t.Fatalf("median = %v, want 3s", med)
+	}
+	if got := g.retryHint("quota", 200*time.Millisecond); got != 3200*time.Millisecond {
+		t.Fatalf("quota hint = %v, want refill+median = 3.2s", got)
+	}
+	if got := g.retryHint("queue_full", 0); got != 3*time.Second {
+		t.Fatalf("queue_full hint = %v, want the 3s median", got)
+	}
+	// A quota shed with no refill estimate falls back to the floor, then
+	// folds the median on top.
+	if got := g.retryHint("quota", 0); got != 4*time.Second {
+		t.Fatalf("quota hint with zero refill = %v, want floor+median = 4s", got)
+	}
+}

@@ -48,8 +48,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // writeHistogram emits the cumulative bucket series of one histogram.
+// Buckets a traced observation landed in carry an OpenMetrics-style
+// exemplar suffix (`# {trace_id="..."} <value> <unix seconds>`), linking
+// the aggregate to a retrievable /tracez entry.
 func writeHistogram(bw *bufio.Writer, d *Desc, h *Histogram) {
 	bounds, counts := h.Buckets()
+	exemplars := h.Exemplars()
 	labels := d.labelString()
 	// Merge the le label into any constant labels.
 	open := "{"
@@ -59,12 +63,20 @@ func writeHistogram(bw *bufio.Writer, d *Desc, h *Histogram) {
 	var cum int64
 	for i, b := range bounds {
 		cum += counts[i]
-		fmt.Fprintf(bw, "%s_bucket%sle=\"%d\"} %d\n", d.Name, open, b, cum)
+		fmt.Fprintf(bw, "%s_bucket%sle=\"%d\"} %d%s\n", d.Name, open, b, cum, exemplarSuffix(exemplars[i]))
 	}
 	cum += counts[len(counts)-1]
-	fmt.Fprintf(bw, "%s_bucket%sle=\"+Inf\"} %d\n", d.Name, open, cum)
+	fmt.Fprintf(bw, "%s_bucket%sle=\"+Inf\"} %d%s\n", d.Name, open, cum, exemplarSuffix(exemplars[len(exemplars)-1]))
 	fmt.Fprintf(bw, "%s_sum%s %d\n", d.Name, labels, h.Sum())
 	fmt.Fprintf(bw, "%s_count%s %d\n", d.Name, labels, cum)
+}
+
+// exemplarSuffix renders a bucket's exemplar annotation, or "" when none.
+func exemplarSuffix(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=\"%s\"} %d %d", escapeLabelValue(e.TraceID), e.Value, e.UnixNS/1e9)
 }
 
 // formatFloat renders a gauge value: integral values print without an
@@ -244,6 +256,14 @@ func checkSample(line string, typed map[string]Kind) error {
 	if value == "" {
 		return fmt.Errorf("sample %q has no value", name)
 	}
+	// Optional OpenMetrics exemplar: " # {labels} value [timestamp]".
+	if i := strings.Index(value, " # "); i >= 0 {
+		ex := strings.TrimSpace(value[i+3:])
+		value = strings.TrimSpace(value[:i])
+		if err := checkExemplar(name, ex); err != nil {
+			return err
+		}
+	}
 	// Optional trailing timestamp.
 	if i := strings.IndexByte(value, ' '); i >= 0 {
 		ts := strings.TrimSpace(value[i+1:])
@@ -267,6 +287,31 @@ func checkSample(line string, typed map[string]Kind) error {
 	}
 	if _, ok := typed[family]; !ok {
 		return fmt.Errorf("sample %s precedes its TYPE declaration", name)
+	}
+	return nil
+}
+
+// checkExemplar validates the body of an exemplar annotation: a label
+// block, a value, and an optional timestamp.
+func checkExemplar(name, ex string) error {
+	if !strings.HasPrefix(ex, "{") {
+		return fmt.Errorf("sample %s exemplar missing label block: %q", name, ex)
+	}
+	end, err := scanLabels(ex, 0)
+	if err != nil {
+		return fmt.Errorf("sample %s exemplar: %w", name, err)
+	}
+	fields := strings.Fields(ex[end:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("sample %s exemplar has malformed value %q", name, ex[end:])
+	}
+	if _, err := parseSampleValue(fields[0]); err != nil {
+		return fmt.Errorf("sample %s exemplar has malformed value %q", name, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return fmt.Errorf("sample %s exemplar has malformed timestamp %q", name, fields[1])
+		}
 	}
 	return nil
 }

@@ -217,16 +217,31 @@ func (g *Gauge) SetMax(v float64) {
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// Exemplar ties a histogram bucket to a recent observation's trace: "a
+// request that landed here looked like this". Exposed on _bucket lines in
+// the OpenMetrics-style `# {trace_id="..."} value ts` suffix, it is the
+// bridge from an aggregate ("p99 is 800ms") to a concrete /tracez entry
+// answering why.
+type Exemplar struct {
+	TraceID string
+	Value   int64
+	UnixNS  int64
+}
+
 // Histogram is a fixed log-scale histogram: bucket i counts observations v
 // with v <= 2^i, plus one overflow bucket (+Inf). Observations are a single
 // atomic add on the bucket (contention spreads across buckets naturally)
-// plus atomic adds on the running sum and count.
+// plus atomic adds on the running sum and count. Each bucket additionally
+// holds an optional exemplar pointer — last-writer-wins, one atomic store,
+// no coordination — so traced observations leave a resolvable breadcrumb at
+// near-zero cost and untraced observations pay only the nil they ignore.
 type Histogram struct {
-	desc   *Desc
-	bounds []int64        // upper bounds 2^0 .. 2^(n-1)
-	counts []atomic.Int64 // len(bounds)+1; last is +Inf
-	sum    atomic.Int64
-	count  atomic.Int64
+	desc      *Desc
+	bounds    []int64        // upper bounds 2^0 .. 2^(n-1)
+	counts    []atomic.Int64 // len(bounds)+1; last is +Inf
+	exemplars []atomic.Pointer[Exemplar]
+	sum       atomic.Int64
+	count     atomic.Int64
 }
 
 func newHistogram(d *Desc, buckets int) *Histogram {
@@ -236,7 +251,12 @@ func newHistogram(d *Desc, buckets int) *Histogram {
 	if buckets > 62 {
 		buckets = 62
 	}
-	h := &Histogram{desc: d, bounds: make([]int64, buckets), counts: make([]atomic.Int64, buckets+1)}
+	h := &Histogram{
+		desc:      d,
+		bounds:    make([]int64, buckets),
+		counts:    make([]atomic.Int64, buckets+1),
+		exemplars: make([]atomic.Pointer[Exemplar], buckets+1),
+	}
 	for i := range h.bounds {
 		h.bounds[i] = 1 << i
 	}
@@ -245,20 +265,47 @@ func newHistogram(d *Desc, buckets int) *Histogram {
 
 func (h *Histogram) describe() *Desc { return h.desc }
 
-// Observe records one observation of v. Values below 1 land in the first
-// bucket; values above the last bound land in +Inf.
-func (h *Histogram) Observe(v int64) {
+// bucketIndex returns the bucket v lands in: the smallest i with v <= 2^i
+// (the bit length of v-1), clamped to +Inf.
+func (h *Histogram) bucketIndex(v int64) int {
 	idx := 0
 	if v > 1 {
-		// Smallest i with v <= 2^i is the bit length of v-1.
 		idx = bits.Len64(uint64(v - 1))
 	}
 	if idx >= len(h.bounds) {
 		idx = len(h.bounds)
 	}
+	return idx
+}
+
+// Observe records one observation of v. Values below 1 land in the first
+// bucket; values above the last bound land in +Inf.
+func (h *Histogram) Observe(v int64) {
+	h.counts[h.bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveExemplar records v like Observe and, when traceID is non-empty,
+// stamps the landing bucket's exemplar with the trace that produced it.
+func (h *Histogram) ObserveExemplar(v int64, traceID string, unixNS int64) {
+	idx := h.bucketIndex(v)
 	h.counts[idx].Add(1)
 	h.sum.Add(v)
 	h.count.Add(1)
+	if traceID != "" {
+		h.exemplars[idx].Store(&Exemplar{TraceID: traceID, Value: v, UnixNS: unixNS})
+	}
+}
+
+// Exemplars returns the current per-bucket exemplars (nil where no traced
+// observation has landed), aligned with Buckets' counts.
+func (h *Histogram) Exemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // Count and Sum return the total observations and their sum.

@@ -13,11 +13,33 @@ import (
 	"pochoir/internal/flight"
 )
 
+// HandlerOption extends the monitor mux with optional subsystems.
+type HandlerOption func(*handlerOptions)
+
+type handlerOptions struct {
+	tracez http.Handler
+	slo    *SLOEngine
+}
+
+// WithTracez mounts a trace viewer (trace.Handler) at /tracez and
+// /tracez/. Without it, those paths 404 — the monitor never serves an
+// empty 200 for a trace it cannot have.
+func WithTracez(h http.Handler) HandlerOption {
+	return func(o *handlerOptions) { o.tracez = h }
+}
+
+// WithSLO mounts an SLO engine's JSON view at /slo.
+func WithSLO(e *SLOEngine) HandlerOption {
+	return func(o *handlerOptions) { o.slo = e }
+}
+
 // NewHandler builds the monitor's HTTP mux for a registry:
 //
 //	/metrics        Prometheus text exposition (WritePrometheus)
 //	/statusz        JSON snapshot of every metric + process vitals
 //	/progressz      JSON progress of in-flight and recent runs
+//	/slo            SLO burn-rate status (with WithSLO)
+//	/tracez         retained traces: lists, waterfalls, JSON (with WithTracez)
 //	/debug/flightz  JSON post-mortem bundle of the last incident
 //	/debug/pprof/*  the standard runtime profiles
 //	/debug/vars     expvar (runtime memstats and any user vars)
@@ -25,8 +47,22 @@ import (
 //
 // The handler holds no state beyond the registry pointer, so it can be
 // mounted on an existing server instead of using Serve.
-func NewHandler(r *Registry) http.Handler {
+func NewHandler(r *Registry, opts ...HandlerOption) http.Handler {
+	var o handlerOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	mux := http.NewServeMux()
+	if o.tracez != nil {
+		mux.Handle("/tracez", o.tracez)
+		mux.Handle("/tracez/", o.tracez)
+	}
+	if o.slo != nil {
+		mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = o.slo.WriteSLO(w)
+		})
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
@@ -73,6 +109,12 @@ func NewHandler(r *Registry) http.Handler {
 		fmt.Fprintln(w, "/metrics        Prometheus text exposition")
 		fmt.Fprintln(w, "/statusz        JSON metric snapshot")
 		fmt.Fprintln(w, "/progressz      JSON run progress + ETA")
+		if o.slo != nil {
+			fmt.Fprintln(w, "/slo            SLO burn-rate status")
+		}
+		if o.tracez != nil {
+			fmt.Fprintln(w, "/tracez         retained traces (waterfalls, JSON)")
+		}
 		fmt.Fprintln(w, "/debug/flightz  last post-mortem incident")
 		fmt.Fprintln(w, "/debug/pprof/   runtime profiles")
 		fmt.Fprintln(w, "/debug/vars     expvar")

@@ -1,0 +1,411 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"pochoir/internal/flight"
+)
+
+// This file is the SLO burn-rate engine: declarative objectives ("99% of
+// jobs complete under 500ms", "99.9% of requests are non-5xx") evaluated
+// over multi-window burn rates from the registry's own histograms and
+// counters, in the style of the SRE-workbook multi-window multi-burn-rate
+// alerts.
+//
+// The burn rate of an objective over a window W is
+//
+//	burn(W) = (bad events in W / total events in W) / (1 - target)
+//
+// i.e. how many times faster than "exactly on budget" the error budget is
+// being spent. burn == 1 consumes the budget exactly at the objective's
+// rate; burn == 14.4 over 5 minutes spends 2% of a 30-day budget in one
+// hour. The engine samples each objective's cumulative good/total counters
+// on a fixed interval into a ring, differences the ring against now to get
+// windowed rates, and raises:
+//
+//   - a fast-burn breach when BOTH fast windows (default 5m and 1h) burn at
+//     ≥ FastBurn (default 14.4) — the page-worthy "budget is vanishing now"
+//     signal; the short window makes it responsive, the long window
+//     debounces blips;
+//   - a slow-burn breach when the slow window (default 6h) burns at ≥
+//     SlowBurn (default 6) — the ticket-worthy signal.
+//
+// Breach transitions stamp EvSLO events into the flight recorder, so a
+// post-mortem bundle shows when the budget started burning relative to the
+// faults that caused it; current burn rates and breach states are also
+// published as pochoir_slo_* metrics and served as JSON at /slo.
+
+// Objective is one declarative SLO: Target is the good fraction promised
+// (0 < Target < 1), and Good/Total read the cumulative event counts from
+// the underlying instruments.
+type Objective struct {
+	Name   string
+	Target float64
+	Good   func() int64
+	Total  func() int64
+}
+
+// LatencyObjective declares "target fraction of observations complete
+// within maxValue" over a histogram (for pochoir histograms, milliseconds).
+// The histogram's power-of-two bucket bounds quantize the threshold: the
+// effective bound is the smallest bucket bound >= maxValue (e.g. 500ms
+// reads the le="512" bucket), which the returned objective's Name should
+// make peace with.
+func LatencyObjective(name string, h *Histogram, maxValue int64, target float64) Objective {
+	return Objective{
+		Name:   name,
+		Target: target,
+		Good: func() int64 {
+			bounds, counts := h.Buckets()
+			var cum int64
+			for i, b := range bounds {
+				cum += counts[i]
+				if b >= maxValue {
+					break
+				}
+			}
+			return cum
+		},
+		Total: func() int64 { return h.Count() },
+	}
+}
+
+// RatioObjective declares "target fraction of total events are good" over
+// two cumulative readers (typically counter Values).
+func RatioObjective(name string, target float64, good, total func() int64) Objective {
+	return Objective{Name: name, Target: target, Good: good, Total: total}
+}
+
+// SLOConfig tunes the engine. The zero value gets workbook defaults.
+type SLOConfig struct {
+	// FastWindows are the two windows that must burn together for a
+	// fast-burn breach. Default 5m and 1h.
+	FastWindows [2]time.Duration
+	// SlowWindow is the long ticket-severity window. Default 6h.
+	SlowWindow time.Duration
+	// FastBurn and SlowBurn are the breach thresholds. Default 14.4 / 6.
+	FastBurn float64
+	SlowBurn float64
+	// Interval is the sampling period. Default 10s. The ring holds
+	// SlowWindow/Interval samples, so a smaller interval buys resolution
+	// for memory.
+	Interval time.Duration
+	// Flight, when non-nil, receives EvSLO events on breach transitions.
+	Flight *flight.Recorder
+	// Now overrides the clock for tests.
+	Now func() time.Time
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.FastWindows[0] <= 0 {
+		c.FastWindows[0] = 5 * time.Minute
+	}
+	if c.FastWindows[1] <= 0 {
+		c.FastWindows[1] = time.Hour
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = 6 * time.Hour
+	}
+	if c.FastBurn <= 0 {
+		c.FastBurn = 14.4
+	}
+	if c.SlowBurn <= 0 {
+		c.SlowBurn = 6
+	}
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Severity of an objective's current state.
+const (
+	SLOHealthy  = 0
+	SLOSlowBurn = 1
+	SLOFastBurn = 2
+)
+
+// sloSample is one ring entry: cumulative counts at a sampling instant.
+type sloSample struct {
+	t           time.Time
+	good, total int64
+}
+
+// sloState is one objective plus its ring and published instruments.
+type sloState struct {
+	obj  Objective
+	ring []sloSample // chronological, capacity slowWindow/interval
+
+	severity  int
+	burnFastA *Gauge // burn over FastWindows[0]
+	burnFastB *Gauge
+	burnSlow  *Gauge
+	ratio     *Gauge
+	breach    *Gauge
+}
+
+// SLOWindowStatus is one window's JSON view.
+type SLOWindowStatus struct {
+	Window  string  `json:"window"`
+	Burn    float64 `json:"burn_rate"`
+	Breach  bool    `json:"breach"`
+	IsSlow  bool    `json:"slow_window"`
+	GoodInW int64   `json:"good"`
+	TotalW  int64   `json:"total"`
+}
+
+// SLOStatus is one objective's JSON view at /slo.
+type SLOStatus struct {
+	Name      string            `json:"name"`
+	Target    float64           `json:"target"`
+	Severity  string            `json:"severity"`
+	GoodRatio float64           `json:"good_ratio"`
+	Good      int64             `json:"good_total"`
+	Total     int64             `json:"total"`
+	Windows   []SLOWindowStatus `json:"windows"`
+}
+
+// SLOEngine evaluates objectives against the clock. Create with NewSLO,
+// register objectives, then either Start a background evaluator or drive
+// Evaluate manually (tests use a fake clock).
+type SLOEngine struct {
+	cfg SLOConfig
+	reg *Registry
+
+	mu     sync.Mutex
+	states []*sloState
+
+	breaches *Counter
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewSLO creates an engine publishing its instruments into r.
+func NewSLO(r *Registry, cfg SLOConfig) *SLOEngine {
+	cfg = cfg.withDefaults()
+	return &SLOEngine{
+		cfg: cfg,
+		reg: r,
+		breaches: r.Counter("pochoir_slo_breaches_total",
+			"SLO breach transitions (healthy -> burning) across all objectives."),
+	}
+}
+
+// Add registers an objective. The ring is sized to cover the slow window
+// at the configured interval.
+func (e *SLOEngine) Add(obj Objective) {
+	if e == nil {
+		return
+	}
+	ringCap := int(e.cfg.SlowWindow/e.cfg.Interval) + 2
+	lbl := Label{Key: "objective", Value: obj.Name}
+	st := &sloState{
+		obj:  obj,
+		ring: make([]sloSample, 0, ringCap),
+		burnFastA: e.reg.Gauge("pochoir_slo_burn_rate",
+			"Error-budget burn rate per objective and window.",
+			lbl, Label{Key: "window", Value: e.cfg.FastWindows[0].String()}),
+		burnFastB: e.reg.Gauge("pochoir_slo_burn_rate", "",
+			lbl, Label{Key: "window", Value: e.cfg.FastWindows[1].String()}),
+		burnSlow: e.reg.Gauge("pochoir_slo_burn_rate", "",
+			lbl, Label{Key: "window", Value: e.cfg.SlowWindow.String()}),
+		ratio: e.reg.Gauge("pochoir_slo_good_ratio",
+			"All-time good/total ratio per objective.", lbl),
+		breach: e.reg.Gauge("pochoir_slo_breach",
+			"Breach severity per objective: 0 healthy, 1 slow burn, 2 fast burn.", lbl),
+	}
+	e.mu.Lock()
+	e.states = append(e.states, st)
+	e.mu.Unlock()
+}
+
+// Evaluate takes one sample of every objective and updates burn rates,
+// severities, gauges, and the flight recorder. Start calls it on the
+// configured interval; tests call it directly under a fake clock.
+func (e *SLOEngine) Evaluate() {
+	if e == nil {
+		return
+	}
+	now := e.cfg.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for idx, st := range e.states {
+		good, total := st.obj.Good(), st.obj.Total()
+		st.push(sloSample{t: now, good: good, total: total})
+
+		bFastA := st.burnAt(now, e.cfg.FastWindows[0], st.obj.Target)
+		bFastB := st.burnAt(now, e.cfg.FastWindows[1], st.obj.Target)
+		bSlow := st.burnAt(now, e.cfg.SlowWindow, st.obj.Target)
+		st.burnFastA.Set(bFastA)
+		st.burnFastB.Set(bFastB)
+		st.burnSlow.Set(bSlow)
+		if total > 0 {
+			st.ratio.Set(float64(good) / float64(total))
+		} else {
+			st.ratio.Set(1)
+		}
+
+		severity := SLOHealthy
+		if bSlow >= e.cfg.SlowBurn {
+			severity = SLOSlowBurn
+		}
+		if bFastA >= e.cfg.FastBurn && bFastB >= e.cfg.FastBurn {
+			severity = SLOFastBurn
+		}
+		if severity != st.severity {
+			burn := bSlow
+			if severity == SLOFastBurn {
+				burn = bFastA
+			}
+			if severity > SLOHealthy && st.severity == SLOHealthy {
+				e.breaches.Inc()
+			}
+			e.cfg.Flight.Record(flight.EvSLO, int64(severity), int64(idx),
+				int64(math.Min(burn, math.MaxInt64/2000)*1000))
+			st.severity = severity
+		}
+		st.breach.Set(float64(st.severity))
+	}
+}
+
+// push appends a sample, dropping the oldest once the ring covers the slow
+// window.
+func (st *sloState) push(s sloSample) {
+	if len(st.ring) == cap(st.ring) {
+		copy(st.ring, st.ring[1:])
+		st.ring[len(st.ring)-1] = s
+		return
+	}
+	st.ring = append(st.ring, s)
+}
+
+// sampleAt returns the newest sample at or before t (the window's far
+// edge), or the oldest available when history is shorter than the window.
+func (st *sloState) sampleAt(t time.Time) sloSample {
+	best := st.ring[0]
+	for _, s := range st.ring {
+		if s.t.After(t) {
+			break
+		}
+		best = s
+	}
+	return best
+}
+
+// burnAt computes the burn rate over the window ending now. No traffic in
+// the window burns nothing.
+func (st *sloState) burnAt(now time.Time, window time.Duration, target float64) float64 {
+	if len(st.ring) == 0 {
+		return 0
+	}
+	cur := st.ring[len(st.ring)-1]
+	then := st.sampleAt(now.Add(-window))
+	total := cur.total - then.total
+	if total <= 0 {
+		return 0
+	}
+	bad := (cur.total - cur.good) - (then.total - then.good)
+	errRate := float64(bad) / float64(total)
+	return errRate / (1 - target)
+}
+
+// Start launches the periodic evaluator; Close stops it.
+func (e *SLOEngine) Start() {
+	if e == nil || e.stop != nil {
+		return
+	}
+	e.stop = make(chan struct{})
+	e.done = make(chan struct{})
+	go func() {
+		defer close(e.done)
+		tick := time.NewTicker(e.cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				e.Evaluate()
+			case <-e.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the evaluator started by Start. Idempotent.
+func (e *SLOEngine) Close() {
+	if e == nil || e.stop == nil {
+		return
+	}
+	select {
+	case <-e.stop:
+	default:
+		close(e.stop)
+		<-e.done
+	}
+}
+
+// Status returns every objective's current view (most recent Evaluate).
+func (e *SLOEngine) Status() []SLOStatus {
+	if e == nil {
+		return nil
+	}
+	now := e.cfg.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]SLOStatus, 0, len(e.states))
+	for _, st := range e.states {
+		s := SLOStatus{Name: st.obj.Name, Target: st.obj.Target, GoodRatio: 1}
+		switch st.severity {
+		case SLOFastBurn:
+			s.Severity = "fast-burn"
+		case SLOSlowBurn:
+			s.Severity = "slow-burn"
+		default:
+			s.Severity = "healthy"
+		}
+		if len(st.ring) > 0 {
+			cur := st.ring[len(st.ring)-1]
+			s.Good, s.Total = cur.good, cur.total
+			if cur.total > 0 {
+				s.GoodRatio = float64(cur.good) / float64(cur.total)
+			}
+		}
+		for i, w := range []time.Duration{e.cfg.FastWindows[0], e.cfg.FastWindows[1], e.cfg.SlowWindow} {
+			slow := i == 2
+			burn := st.burnAt(now, w, st.obj.Target)
+			thresh := e.cfg.FastBurn
+			if slow {
+				thresh = e.cfg.SlowBurn
+			}
+			cur := sloSample{}
+			then := sloSample{}
+			if len(st.ring) > 0 {
+				cur = st.ring[len(st.ring)-1]
+				then = st.sampleAt(now.Add(-w))
+			}
+			s.Windows = append(s.Windows, SLOWindowStatus{
+				Window: w.String(), Burn: burn, Breach: burn >= thresh, IsSlow: slow,
+				GoodInW: cur.good - then.good, TotalW: cur.total - then.total,
+			})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteSLO writes the /slo JSON body: every objective with its windows.
+func (e *SLOEngine) WriteSLO(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Schema     string      `json:"schema"`
+		Objectives []SLOStatus `json:"objectives"`
+	}{Schema: "pochoir-slo/v1", Objectives: e.Status()})
+}

@@ -1,0 +1,240 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"pochoir/internal/flight"
+)
+
+// sloHarness drives an engine with a fake clock and a synthetic workload.
+type sloHarness struct {
+	reg  *Registry
+	eng  *SLOEngine
+	rec  *flight.Recorder
+	now  time.Time
+	hist *Histogram
+}
+
+func newSLOHarness(t *testing.T) *sloHarness {
+	t.Helper()
+	h := &sloHarness{
+		reg: NewRegistry(),
+		rec: flight.New(1024),
+		now: time.Unix(1_700_000_000, 0),
+	}
+	h.hist = h.reg.Histogram("job_latency_ms", "test latency", 24)
+	h.eng = NewSLO(h.reg, SLOConfig{
+		FastWindows: [2]time.Duration{5 * time.Minute, time.Hour},
+		SlowWindow:  6 * time.Hour,
+		Interval:    10 * time.Second,
+		Flight:      h.rec,
+		Now:         func() time.Time { return h.now },
+	})
+	h.eng.Add(LatencyObjective("latency-500ms", h.hist, 500, 0.99))
+	return h
+}
+
+// tick advances the fake clock one interval, records traffic, evaluates.
+func (h *sloHarness) tick(fast, slow int) {
+	h.now = h.now.Add(10 * time.Second)
+	for i := 0; i < fast; i++ {
+		h.hist.Observe(20)
+	}
+	for i := 0; i < slow; i++ {
+		h.hist.Observe(5000)
+	}
+	h.eng.Evaluate()
+}
+
+func (h *sloHarness) severity() string { return h.eng.Status()[0].Severity }
+
+// TestSLOFastBurnBreachAndRecovery pushes an objective through healthy ->
+// fast-burn -> healthy and checks gauges, flight events, and /slo JSON.
+func TestSLOFastBurnBreachAndRecovery(t *testing.T) {
+	h := newSLOHarness(t)
+
+	// Two minutes of clean traffic: no burn.
+	for i := 0; i < 12; i++ {
+		h.tick(50, 0)
+	}
+	if got := h.severity(); got != "healthy" {
+		t.Fatalf("clean traffic severity = %q", got)
+	}
+
+	// A fault window: half the jobs blow the 500ms budget. Over the 5m
+	// window (which still holds the clean preamble) that is a 25% error
+	// rate — burn 25 against a 1% budget, past the 14.4 threshold on both
+	// fast windows since history is short enough that the 1h window sees
+	// the same spike.
+	for i := 0; i < 12; i++ {
+		h.tick(25, 25)
+	}
+	if got := h.severity(); got != "fast-burn" {
+		t.Fatalf("fault window severity = %q, want fast-burn", got)
+	}
+	if v := h.reg.Gauge("pochoir_slo_breach", "", Label{Key: "objective", Value: "latency-500ms"}).Value(); v != 2 {
+		t.Fatalf("pochoir_slo_breach gauge = %v, want 2", v)
+	}
+
+	// Recovery: clean traffic until the 5m window slides past the fault.
+	for i := 0; i < 40; i++ {
+		h.tick(100, 0)
+	}
+	if got := h.severity(); got == "fast-burn" {
+		t.Fatalf("severity stuck at fast-burn after recovery")
+	}
+
+	var breach, recover bool
+	for _, ev := range h.rec.Snapshot() {
+		if ev.Kind != flight.EvSLO {
+			continue
+		}
+		switch ev.A0 {
+		case 2:
+			breach = true
+			if ev.A2 < 1000 {
+				t.Fatalf("breach event burn=%d, want >= 1.0 in thousandths", ev.A2)
+			}
+			if !strings.Contains(ev.Describe(), "fast-burn breach") {
+				t.Fatalf("Describe = %q", ev.Describe())
+			}
+		case 0:
+			recover = true
+		}
+	}
+	if !breach {
+		t.Fatal("no EvSLO breach event recorded")
+	}
+	if !recover {
+		t.Fatal("no EvSLO recovery event recorded")
+	}
+
+	var slo bytes.Buffer
+	if err := h.eng.WriteSLO(&slo); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"pochoir-slo/v1"`, `"latency-500ms"`, `"5m0s"`, `"6h0m0s"`} {
+		if !strings.Contains(slo.String(), want) {
+			t.Fatalf("/slo body missing %q:\n%s", want, slo.String())
+		}
+	}
+
+	var expo bytes.Buffer
+	if err := h.reg.WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pochoir_slo_burn_rate", "pochoir_slo_breach", "pochoir_slo_breaches_total 1"} {
+		if !strings.Contains(expo.String(), want) {
+			t.Fatalf("exposition missing %q", want)
+		}
+	}
+	if err := CheckExposition(expo.Bytes()); err != nil {
+		t.Fatalf("SLO exposition invalid: %v", err)
+	}
+}
+
+// TestSLOSlowBurnSeverity checks a moderate sustained error rate trips the
+// slow window but not the fast threshold.
+func TestSLOSlowBurnSeverity(t *testing.T) {
+	h := newSLOHarness(t)
+	// 8% bad sustains burn 8: above SlowBurn (6), below FastBurn (14.4).
+	for i := 0; i < 60; i++ {
+		h.tick(92, 8)
+	}
+	if got := h.severity(); got != "slow-burn" {
+		t.Fatalf("severity = %q, want slow-burn", got)
+	}
+}
+
+// TestSLONoTraffic checks an idle objective burns nothing.
+func TestSLONoTraffic(t *testing.T) {
+	h := newSLOHarness(t)
+	for i := 0; i < 10; i++ {
+		h.now = h.now.Add(10 * time.Second)
+		h.eng.Evaluate()
+	}
+	st := h.eng.Status()[0]
+	if st.Severity != "healthy" || st.GoodRatio != 1 {
+		t.Fatalf("idle objective: %+v", st)
+	}
+	for _, w := range st.Windows {
+		if w.Burn != 0 {
+			t.Fatalf("idle burn %v in window %s", w.Burn, w.Window)
+		}
+	}
+}
+
+// TestRatioObjective checks the counter-backed form.
+func TestRatioObjective(t *testing.T) {
+	reg := NewRegistry()
+	good := reg.Counter("ok_total", "")
+	all := reg.Counter("req_total", "")
+	eng := NewSLO(reg, SLOConfig{Now: time.Now, Interval: time.Second})
+	eng.Add(RatioObjective("non-5xx", 0.999, good.Value, all.Value))
+	for i := 0; i < 1000; i++ {
+		all.Inc()
+		if i%10 != 0 {
+			good.Inc()
+		}
+	}
+	eng.Evaluate()
+	st := eng.Status()[0]
+	if st.GoodRatio > 0.91 || st.GoodRatio < 0.89 {
+		t.Fatalf("good ratio = %v, want ~0.9", st.GoodRatio)
+	}
+}
+
+// TestLatencyObjectiveQuantization pins the power-of-two threshold
+// behavior: a 500ms objective reads the le=512 bucket.
+func TestLatencyObjectiveQuantization(t *testing.T) {
+	reg := NewRegistry()
+	hist := reg.Histogram("lat", "", 24)
+	obj := LatencyObjective("p", hist, 500, 0.99)
+	hist.Observe(100) // le=128: good
+	hist.Observe(510) // le=512: good under quantization
+	hist.Observe(513) // le=1024: bad
+	if g, tot := obj.Good(), obj.Total(); g != 2 || tot != 3 {
+		t.Fatalf("good=%d total=%d, want 2/3", g, tot)
+	}
+}
+
+// TestExemplarExposition checks traced observations surface as bucket
+// exemplars and survive CheckExposition; untraced buckets stay bare.
+func TestExemplarExposition(t *testing.T) {
+	reg := NewRegistry()
+	hist := reg.Histogram("pochoir_gateway_job_latency_ms", "job latency", 24)
+	hist.Observe(3)
+	hist.ObserveExemplar(100, "4bf92f3577b34da6a3ce929d0e0e4736", 1_700_000_000_000_000_000)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `le="128"} 2 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 100 1700000000`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing exemplar %q:\n%s", want, out)
+	}
+	if strings.Contains(out, `le="4"} 1 #`) {
+		t.Fatalf("untraced bucket grew an exemplar:\n%s", out)
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("exemplar exposition rejected: %v", err)
+	}
+	ex := hist.Exemplars()
+	found := false
+	for _, e := range ex {
+		if e != nil && e.TraceID == "4bf92f3577b34da6a3ce929d0e0e4736" && e.Value == 100 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Exemplars() lost the stored exemplar")
+	}
+
+	if err := CheckExposition([]byte("# TYPE h histogram\nh_bucket{le=\"1\"} 1 # {trace_id=\"x\" 1\n")); err == nil {
+		t.Fatal("CheckExposition accepted malformed exemplar")
+	}
+}

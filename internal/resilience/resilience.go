@@ -185,6 +185,12 @@ type Policy struct {
 	// with the engine events around them (pochoir defaults it to the
 	// process-wide recorder).
 	Flight *flight.Recorder
+	// OnEvent, when non-nil, receives every supervisor decision
+	// synchronously from the supervising goroutine, after its report
+	// timestamp is stamped. The causal tracer hangs off this hook
+	// (trace.SupervisorSpans) to grow the run's span tree live; any other
+	// observer may too. It must not block.
+	OnEvent func(telemetry.SupEvent)
 }
 
 // WithDefaults returns p with every unset knob replaced by its default.

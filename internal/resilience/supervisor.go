@@ -75,6 +75,9 @@ func Supervise(ctx context.Context, d Driver, p Policy) (*Report, error) {
 		p.Flight.Record(flight.EvSup, int64(ev.Kind), int64(ev.Segment), int64(ev.Attempt))
 		ev.TS = p.Clock.Now().Sub(start).Nanoseconds()
 		rep.Events = append(rep.Events, ev)
+		if p.OnEvent != nil {
+			p.OnEvent(ev)
+		}
 	}
 	fail := func(seg SegmentReport, err error) (*Report, error) {
 		if sm != nil {

@@ -151,6 +151,62 @@ func WriteChromeEvents(w io.Writer, process string, tracks map[int]string, evs [
 	return bw.Flush()
 }
 
+// ChromeSpan is one complete-event ("X") span of a generic Chrome trace:
+// a named bar on a track with an explicit duration. Unlike the B/E pairs
+// WriteChromeTrace emits, complete events need no stack discipline — the
+// viewer nests them by time containment — which suits span trees assembled
+// from concurrent recorders. Args, when non-empty, is the pre-rendered JSON
+// body of the args object (no surrounding braces).
+type ChromeSpan struct {
+	Name  string
+	TID   int   // track the span renders on
+	TS    int64 // nanoseconds since the trace's epoch
+	DurNS int64
+	Args  string
+}
+
+// WriteChromeSpans renders spans (plus optional instant markers) in the
+// Chrome trace-event format, one named thread track per entry of tracks.
+// It is the converter behind the /tracez Chrome export: a pochoir-trace/v1
+// span tree becomes a browsable flame chart in chrome://tracing or
+// Perfetto, reusing the exact envelope WriteChromeTrace established.
+func WriteChromeSpans(w io.Writer, process string, tracks map[int]string, spans []ChromeSpan, instants []ChromeInstant) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	emit(`{"name":"process_name","ph":"M","pid":1,"args":{"name":%s}}`, strconv.Quote(process))
+	tids := make([]int, 0, len(tracks))
+	for tid := range tracks {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		emit(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
+			tid, strconv.Quote(tracks[tid]))
+	}
+	for _, sp := range spans {
+		emit(`{"name":%s,"cat":"trace","ph":"X","pid":1,"tid":%d,"ts":%.3f,"dur":%.3f,"args":{%s}}`,
+			strconv.Quote(sp.Name), sp.TID, float64(sp.TS)/1e3, float64(sp.DurNS)/1e3, sp.Args)
+	}
+	for _, ev := range instants {
+		emit(`{"name":%s,"cat":"trace","ph":"i","s":"t","pid":1,"tid":%d,"ts":%.3f,"args":{%s}}`,
+			strconv.Quote(ev.Name), ev.TID, float64(ev.TS)/1e3, ev.Args)
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
 // WriteChromeTraceFile writes the Chrome trace to path.
 func (r *Recorder) WriteChromeTraceFile(path string) error {
 	f, err := os.Create(path)

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pochoir/internal/telemetry"
+)
+
+// WriteChrome converts the trace into the Chrome trace-event format via the
+// shared telemetry writer (telemetry.WriteChromeSpans): timed spans become
+// complete events nested by containment on a single "job" track, and
+// zero-duration markers (checkpoints, spills, degrades...) become instant
+// events, so /tracez/<id>.json?format=chrome loads directly into
+// chrome://tracing or Perfetto.
+func WriteChrome(w io.Writer, tr *Trace) error {
+	spans := make([]telemetry.ChromeSpan, 0, len(tr.Spans))
+	instants := make([]telemetry.ChromeInstant, 0, 8)
+	for i := range tr.Spans {
+		s := &tr.Spans[i]
+		endNS := s.EndNS
+		if endNS == 0 {
+			endNS = tr.EndNS
+		}
+		ts := s.StartNS - tr.StartNS
+		if s.EndNS == s.StartNS {
+			instants = append(instants, telemetry.ChromeInstant{
+				Name: s.Name, TID: 0, TS: ts, Args: spanArgs(s),
+			})
+			continue
+		}
+		spans = append(spans, telemetry.ChromeSpan{
+			Name: s.Name, TID: 0, TS: ts, DurNS: endNS - s.StartNS, Args: spanArgs(s),
+		})
+	}
+	return telemetry.WriteChromeSpans(w, "pochoir trace "+tr.ID.String(),
+		map[int]string{0: "job"}, spans, instants)
+}
+
+// spanArgs renders a span's status, attrs, and link as a Chrome args body.
+func spanArgs(s *Span) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `"span_id":%s`, strconv.Quote(s.ID.String()))
+	if s.Status != "" {
+		fmt.Fprintf(&sb, `,"status":%s`, strconv.Quote(s.Status))
+	}
+	for _, a := range s.Attrs {
+		fmt.Fprintf(&sb, `,%s:%s`, strconv.Quote(a.Key), strconv.Quote(a.Value))
+	}
+	if !s.Link.IsZero() {
+		fmt.Fprintf(&sb, `,"link":%s`, strconv.Quote(s.Link.String()))
+	}
+	return sb.String()
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Handler serves the tracer's retained traces:
+//
+//	GET /tracez           — sampling stats + slowest and errored lists
+//	GET /tracez/<id>      — ASCII waterfall of one trace
+//	GET /tracez/<id>.json — pochoir-trace/v1 JSON (?format=chrome converts
+//	                        to a Chrome trace via the telemetry writer)
+//
+// Unknown or malformed trace IDs answer 404 (not an empty 200), so dead
+// exemplar links fail loudly. A nil tracer serves 404 for everything under
+// /tracez — the monitor stays mountable with tracing disabled.
+func Handler(t *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		st := t.Stats()
+		fmt.Fprintf(w, "tracer: started=%d kept=%d dropped=%d retained=%d tail_ns=%d\n\n",
+			st.Started, st.Kept, st.Dropped, st.Retained, st.TailNS)
+		WriteList(w, "slowest:", t.Slowest(10))
+		fmt.Fprintln(w)
+		WriteList(w, "errored:", t.Errored(10))
+		fmt.Fprintln(w)
+		WriteList(w, "recent:", firstN(t.Traces(), 20))
+	})
+	mux.HandleFunc("/tracez/", func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		name := strings.TrimPrefix(r.URL.Path, "/tracez/")
+		wantJSON := strings.HasSuffix(name, ".json")
+		name = strings.TrimSuffix(name, ".json")
+		id, err := ParseTraceID(name)
+		if err != nil {
+			http.Error(w, "bad trace id", http.StatusNotFound)
+			return
+		}
+		tr := t.Get(id)
+		if tr == nil {
+			http.Error(w, "no such trace", http.StatusNotFound)
+			return
+		}
+		if wantJSON {
+			if r.URL.Query().Get("format") == "chrome" {
+				w.Header().Set("Content-Type", "application/json")
+				WriteChrome(w, tr)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			WriteJSON(w, tr)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteWaterfall(w, tr)
+	})
+	return mux
+}
+
+func firstN(trs []*Trace, n int) []*Trace {
+	if len(trs) > n {
+		return trs[:n]
+	}
+	return trs
+}

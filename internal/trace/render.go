@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TraceSchema versions the JSON export; bump on incompatible change.
+const TraceSchema = "pochoir-trace/v1"
+
+// Export is the schema-versioned wire form of one trace, served at
+// /tracez/<id>.json and embedded in post-mortem bundles.
+type Export struct {
+	Schema string `json:"schema"`
+	Trace  *Trace `json:"trace"`
+}
+
+// WriteJSON writes the trace as indented pochoir-trace/v1 JSON.
+func WriteJSON(w io.Writer, tr *Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Export{Schema: TraceSchema, Trace: tr})
+}
+
+// MarshalExport returns the trace's pochoir-trace/v1 JSON bytes.
+func MarshalExport(tr *Trace) ([]byte, error) {
+	return json.MarshalIndent(Export{Schema: TraceSchema, Trace: tr}, "", "  ")
+}
+
+// ParseExport decodes pochoir-trace/v1 JSON, rejecting other schemas.
+func ParseExport(b []byte) (*Trace, error) {
+	var ex Export
+	if err := json.Unmarshal(b, &ex); err != nil {
+		return nil, err
+	}
+	if ex.Schema != TraceSchema {
+		return nil, fmt.Errorf("trace: unsupported schema %q (want %s)", ex.Schema, TraceSchema)
+	}
+	if ex.Trace == nil {
+		return nil, fmt.Errorf("trace: export has no trace")
+	}
+	return ex.Trace, nil
+}
+
+// node is one span plus its children, for depth-first rendering.
+type node struct {
+	span     *Span
+	children []*node
+}
+
+// buildTree orders spans into a root-first forest. Spans whose parent is
+// missing (e.g. the caller's remote span from a traceparent) rank as roots.
+func buildTree(tr *Trace) []*node {
+	byID := make(map[SpanID]*node, len(tr.Spans))
+	for i := range tr.Spans {
+		byID[tr.Spans[i].ID] = &node{span: &tr.Spans[i]}
+	}
+	var roots []*node
+	for i := range tr.Spans {
+		n := byID[tr.Spans[i].ID]
+		if p, ok := byID[tr.Spans[i].Parent]; ok && p != n {
+			p.children = append(p.children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	var sortKids func(n *node)
+	sortKids = func(n *node) {
+		sort.SliceStable(n.children, func(i, j int) bool {
+			return n.children[i].span.StartNS < n.children[j].span.StartNS
+		})
+		for _, c := range n.children {
+			sortKids(c)
+		}
+	}
+	for _, r := range roots {
+		sortKids(r)
+	}
+	return roots
+}
+
+// WriteWaterfall renders the trace as an ASCII waterfall: one line per
+// span, indented by tree depth, with a proportional bar showing where the
+// span sits inside the root's time window.
+func WriteWaterfall(w io.Writer, tr *Trace) {
+	const barWidth = 40
+	total := tr.EndNS - tr.StartNS
+	if total <= 0 {
+		total = 1
+	}
+	fmt.Fprintf(w, "trace %s  status=%s  keep=%s  duration=%s  spans=%d\n",
+		tr.ID, tr.Status, tr.KeepReason, time.Duration(tr.DurationNS()), len(tr.Spans))
+
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		s := n.span
+		startFrac := float64(s.StartNS-tr.StartNS) / float64(total)
+		endNS := s.EndNS
+		if endNS == 0 {
+			endNS = tr.EndNS
+		}
+		endFrac := float64(endNS-tr.StartNS) / float64(total)
+		lo := int(startFrac * barWidth)
+		hi := int(endFrac * barWidth)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > barWidth {
+			hi = barWidth
+		}
+		if hi <= lo {
+			hi = lo + 1
+			if hi > barWidth {
+				lo, hi = barWidth-1, barWidth
+			}
+		}
+		bar := strings.Repeat(" ", lo) + strings.Repeat("=", hi-lo) + strings.Repeat(" ", barWidth-hi)
+		marker := byte('=')
+		if s.EndNS == s.StartNS {
+			marker = '|'
+		}
+		if marker == '|' {
+			barB := []byte(bar)
+			barB[lo] = '|'
+			for i := lo + 1; i < hi; i++ {
+				barB[i] = ' '
+			}
+			bar = string(barB)
+		}
+
+		label := s.Name
+		if !s.Link.IsZero() {
+			label += " -> " + s.Link.String()[:8]
+		}
+		var extra []string
+		if s.Status != "" && s.Status != StatusOK {
+			extra = append(extra, s.Status)
+		}
+		for _, a := range s.Attrs {
+			extra = append(extra, a.Key+"="+a.Value)
+		}
+		suffix := ""
+		if len(extra) > 0 {
+			suffix = "  [" + strings.Join(extra, " ") + "]"
+		}
+		dur := time.Duration(endNS - s.StartNS)
+		fmt.Fprintf(w, "  [%s] %*s%-*s %10s%s\n",
+			bar, 2*depth, "", 34-2*depth, clip(label, 34-2*depth), dur, suffix)
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range buildTree(tr) {
+		walk(r, 0)
+	}
+}
+
+func clip(s string, n int) string {
+	if n < 4 {
+		n = 4
+	}
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// WriteList renders a one-line-per-trace summary (the /tracez index body).
+func WriteList(w io.Writer, header string, traces []*Trace) {
+	if len(traces) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s\n", header)
+	for _, tr := range traces {
+		root := "?"
+		if len(tr.Spans) > 0 {
+			root = tr.Spans[0].Name
+		}
+		fmt.Fprintf(w, "  %s  %-8s  %-8s  %10s  %3d spans  %s\n",
+			tr.ID, tr.Status, tr.KeepReason, time.Duration(tr.DurationNS()), len(tr.Spans), root)
+	}
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// TraceID is the 128-bit W3C trace identifier. The zero value means "no
+// trace".
+type TraceID [16]byte
+
+// SpanID is the 64-bit span identifier. The zero value means "no span".
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the all-zero sentinel.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// IsZero reports whether the ID is the all-zero sentinel.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// String renders the ID as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// MarshalJSON encodes the ID as its hex string; the zero ID encodes as ""
+// so omitempty-adjacent readers see an obviously-absent value.
+func (id TraceID) MarshalJSON() ([]byte, error) {
+	if id.IsZero() {
+		return []byte(`""`), nil
+	}
+	return json.Marshal(id.String())
+}
+
+// UnmarshalJSON decodes a 32-hex-digit string ("" = zero ID).
+func (id *TraceID) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	if s == "" {
+		*id = TraceID{}
+		return nil
+	}
+	v, err := ParseTraceID(s)
+	if err != nil {
+		return err
+	}
+	*id = v
+	return nil
+}
+
+// MarshalJSON encodes the ID as its hex string ("" for the zero ID).
+func (id SpanID) MarshalJSON() ([]byte, error) {
+	if id.IsZero() {
+		return []byte(`""`), nil
+	}
+	return json.Marshal(id.String())
+}
+
+// UnmarshalJSON decodes a 16-hex-digit string ("" = zero ID).
+func (id *SpanID) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	if s == "" {
+		*id = SpanID{}
+		return nil
+	}
+	raw, err := hex.DecodeString(strings.ToLower(s))
+	if err != nil || len(raw) != 8 {
+		return fmt.Errorf("trace: bad span id %q", s)
+	}
+	copy(id[:], raw)
+	return nil
+}
+
+// ParseTraceID decodes 32 hex digits into a TraceID.
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	raw, err := hex.DecodeString(strings.ToLower(s))
+	if err != nil || len(raw) != 16 {
+		return id, fmt.Errorf("trace: bad trace id %q", s)
+	}
+	copy(id[:], raw)
+	return id, nil
+}
+
+// Context is the W3C propagation pair: which trace, and which span within
+// it is the caller.
+type Context struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// IsZero reports whether the context carries no trace.
+func (c Context) IsZero() bool { return c.TraceID.IsZero() }
+
+// Traceparent renders the context as a W3C traceparent header value,
+// version 00 with the sampled flag set (pochoir's sampling is tail-based,
+// so every propagated trace is recorded until its fate is decided).
+func (c Context) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-01", c.TraceID, c.SpanID)
+}
+
+var errTraceparent = errors.New("trace: malformed traceparent")
+
+// ParseTraceparent decodes a W3C traceparent header value
+// ("00-<32 hex>-<16 hex>-<2 hex>"). The empty string decodes to the zero
+// Context (no trace) with no error; a malformed non-empty value is an
+// error so the gateway can reject it explicitly rather than silently
+// starting a fresh trace.
+func ParseTraceparent(s string) (Context, error) {
+	if s == "" {
+		return Context{}, nil
+	}
+	parts := strings.Split(s, "-")
+	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[3]) != 2 {
+		return Context{}, errTraceparent
+	}
+	if _, err := hex.DecodeString(parts[0]); err != nil || parts[0] == "ff" {
+		return Context{}, errTraceparent
+	}
+	tid, err := ParseTraceID(parts[1])
+	if err != nil || tid.IsZero() {
+		return Context{}, errTraceparent
+	}
+	raw, err := hex.DecodeString(strings.ToLower(parts[2]))
+	if err != nil || len(raw) != 8 {
+		return Context{}, errTraceparent
+	}
+	var sid SpanID
+	copy(sid[:], raw)
+	if sid.IsZero() {
+		return Context{}, errTraceparent
+	}
+	if _, err := hex.DecodeString(parts[3]); err != nil {
+		return Context{}, errTraceparent
+	}
+	return Context{TraceID: tid, SpanID: sid}, nil
+}

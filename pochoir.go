@@ -215,6 +215,18 @@ type Options struct {
 	// NoFlightRecorder disables black-box recording and automatic
 	// post-mortem bundles for this stencil only.
 	NoFlightRecorder bool
+	// Trace, when non-nil, is the causal trace this stencil's supervised
+	// runs record into: RunSupervised opens a "supervised-run" span and
+	// grows a child span per segment attempt (with retry, degradation,
+	// spill, and verify causes) as the supervisor decides. The serving
+	// gateway threads each job's ActiveTrace through here; library users
+	// may pass their own (see NewTracer). Nil — the default — keeps runs
+	// untraced at the cost of one pointer check.
+	Trace *ActiveTrace
+	// TraceParent, when Trace is set, parents the supervised-run span
+	// under an enclosing span (the gateway's per-job root); zero attaches
+	// to the trace's root span.
+	TraceParent TraceSpanID
 }
 
 // New creates a stencil object for the given shape.

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"pochoir/internal/flight"
+	"pochoir/internal/trace"
 )
 
 // FlightRecorder is the always-on black-box recorder: a bounded,
@@ -148,6 +149,18 @@ func (s *Stencil[T]) writePostmortem(err error, rep *RunReport) {
 	if reg := s.opts.Metrics; reg != nil {
 		if data, jerr := json.Marshal(reg.Snapshot()); jerr == nil {
 			b.Metrics = data
+		}
+	}
+	if tr := s.opts.Trace; tr != nil {
+		// Snapshot the live trace — it may never be finalized (the job
+		// layer above decides that), but the incident's span tree down to
+		// the failing attempt belongs in the bundle, and /statusz links the
+		// ID at /tracez/<id>.
+		if snap := tr.Snapshot(); snap != nil {
+			b.TraceID = snap.ID.String()
+			if data, jerr := trace.MarshalExport(snap); jerr == nil {
+				b.Trace = data
+			}
 		}
 	}
 	if rep != nil {

@@ -2,13 +2,16 @@ package pochoir
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"reflect"
+	"strconv"
 
 	"pochoir/internal/core"
 	"pochoir/internal/resilience"
 	"pochoir/internal/telemetry"
+	"pochoir/internal/trace"
 	"pochoir/internal/wire"
 	"pochoir/internal/zoid"
 )
@@ -100,6 +103,41 @@ func (s *Stencil[T]) RunSupervised(ctx context.Context, steps int, kern Kernel, 
 	// Resolve the policy defaults here, not just inside Supervise: the verify
 	// closure below reads the effective BoxSide/Every/Tolerance and Rand.
 	p = p.WithDefaults()
+	if tr := s.opts.Trace; tr != nil {
+		// The supervised run gets its own span, and the supervisor's
+		// decision stream grows segment/attempt spans under it live — so a
+		// post-mortem snapshot of a run that dies mid-segment still shows
+		// the attempt it died in. Chain rather than replace any caller
+		// OnEvent.
+		runSpan := tr.StartSpan("supervised-run", s.opts.TraceParent,
+			trace.Attr{Key: "steps", Value: strconv.Itoa(steps)},
+			trace.Attr{Key: "algorithm", Value: s.opts.Algorithm.String()})
+		spanSink := trace.SupervisorSpans(tr, runSpan)
+		prevSink := p.OnEvent
+		p.OnEvent = func(ev telemetry.SupEvent) {
+			spanSink(ev)
+			if prevSink != nil {
+				prevSink(ev)
+			}
+		}
+		defer func() {
+			status := trace.StatusOK
+			switch {
+			case err == nil:
+			case errors.Is(err, context.DeadlineExceeded):
+				status = trace.StatusDeadline
+			default:
+				status = trace.StatusError
+			}
+			attrs := []trace.Attr(nil)
+			if rep != nil {
+				attrs = append(attrs,
+					trace.Attr{Key: "attempts", Value: strconv.Itoa(rep.Attempts)},
+					trace.Attr{Key: "engine", Value: rep.FinalEngine.String()})
+			}
+			tr.EndSpan(runSpan, status, attrs...)
+		}()
+	}
 	exec := s.pointExecutor(kern)
 	var cpStart *Checkpoint[T]
 	d := resilience.Driver{
