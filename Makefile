@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench verify fuzz-smoke soak crash-soak monitor-smoke bench-lab flight-smoke gateway-smoke trace-smoke
+.PHONY: build vet test race bench verify fuzz-smoke soak crash-soak monitor-smoke bench-lab flight-smoke gateway-smoke trace-smoke profile-smoke
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,7 @@ test:
 # (segment retries, degradation ladder, shadow verification) under the
 # detector.
 race:
-	$(GO) test -race ./internal/core ./internal/sched ./internal/telemetry ./internal/loops ./internal/faultpoint ./internal/resilience ./internal/metrics ./internal/flight ./internal/wire ./internal/compiler ./internal/gateway ./internal/trace
+	$(GO) test -race ./internal/core ./internal/sched ./internal/telemetry ./internal/loops ./internal/faultpoint ./internal/resilience ./internal/metrics ./internal/flight ./internal/wire ./internal/compiler ./internal/gateway ./internal/trace ./internal/profile
 	$(GO) test -race -run 'Panic|Cancel|Poison|Checkpoint|Restore|Fault|RegisterArray|Supervised|LoopsEngine|Monitor|Progress|Bundle|Recorder|Incident|Resume|Durable' .
 
 # soak runs the supervised-run soak with probabilistic faults armed at the
@@ -39,9 +39,12 @@ soak:
 # push, and `go test` alone still replays the seed corpora. FuzzWireDecode
 # feeds arbitrary bytes to the durable-checkpoint decoder, which must error —
 # never panic, and never allocate beyond the input's actual size.
+# FuzzProfileDecode does the same for the hand-rolled gzip+protobuf pprof
+# decoder behind /profilez.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzDSL -fuzztime=30s -run '^FuzzDSL$$' ./internal/compiler
 	$(GO) test -fuzz=FuzzWireDecode -fuzztime=30s -run '^FuzzWireDecode$$' ./internal/wire
+	$(GO) test -fuzz=FuzzProfileDecode -fuzztime=30s -run '^FuzzProfileDecode$$' ./internal/profile
 
 # crash-soak hammers the durable-checkpoint crash path end to end: each
 # iteration re-execs the test binary as a child running a spilling supervised
@@ -123,5 +126,19 @@ trace-smoke:
 	rm -rf trace-smoke-out && mkdir -p trace-smoke-out
 	POCHOIR_TRACE_SMOKE_OUT=$(CURDIR)/trace-smoke-out \
 		$(GO) test -race -run '^TestTraceSmoke$$' -v ./internal/gateway
+
+# profile-smoke proves CPU attribution end to end under the race detector:
+# two tenants share the daemon — one submitting heavy grids, one thrifty —
+# and the scraped /profilez.json aggregate must attribute dominant CPU to
+# the heavy tenant (≥4x the light one), carry priority/engine/job/phase
+# label breakdowns, export pochoir_tenant_cpu_seconds_total on /metrics,
+# and the hot-path sentinel must stay silent on a clean re-aggregation
+# while flagging a synthetically injected kernel-share collapse. The JSON
+# and ASCII renderings plus the sentinel findings land in
+# ./profile-smoke-out so CI can upload them as artifacts.
+profile-smoke:
+	rm -rf profile-smoke-out && mkdir -p profile-smoke-out
+	POCHOIR_PROFILE_SMOKE_OUT=$(CURDIR)/profile-smoke-out \
+		$(GO) test -race -run '^TestProfileSmoke$$' -v ./internal/gateway
 
 verify: build vet test race

@@ -10,12 +10,14 @@ package pochoir_test
 import (
 	"context"
 	"testing"
+	"time"
 
 	"pochoir"
 	"pochoir/internal/benchdef"
 	"pochoir/internal/cachesim"
 	"pochoir/internal/cilkview"
 	"pochoir/internal/core"
+	"pochoir/internal/profile"
 	"pochoir/internal/shape"
 	"pochoir/internal/stencils"
 )
@@ -265,6 +267,60 @@ func BenchmarkHeat2DTraced(b *testing.B) {
 		b.ReportMetric(overhead, "overhead_%")
 		if overhead > 3.0 {
 			b.Errorf("tracing costs %.2f%% over untraced, budget is 3%%", overhead)
+		}
+	}
+}
+
+// BenchmarkHeat2DProfiled is the continuous-profiling acceptance benchmark:
+// the supervised Heat 2D workload with the profiler capturing back-to-back
+// CPU windows (worst case — the 100Hz sampling interrupt plus armed
+// per-base-case phase labels) against the identical workload unprofiled.
+// The budget is ≤3% — asserted here when both halves ran, with the same
+// sub-benchtime-noise caveat as the flight-recorder bench; EXPERIMENTS.md
+// records the number from a quiet run.
+func BenchmarkHeat2DProfiled(b *testing.B) {
+	const X, Y, steps, seed = 512, 512, 32, 7
+	up := float64(X*Y) * float64(steps)
+	policy := pochoir.SupervisePolicy{SegmentSteps: 8}
+	benchProf := func(b *testing.B) {
+		b.Helper()
+		b.ReportAllocs()
+		sts := make([]*pochoir.Stencil[float64], b.N)
+		kerns := make([]pochoir.Kernel, b.N)
+		for i := range sts {
+			sts[i], _, kerns[i] = heatStencil(b, pochoir.Options{}, X, Y, seed)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sts[i].RunSupervised(context.Background(), steps, kerns[i], policy); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(up*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpts/s")
+	}
+	var offNs, onNs float64
+	b.Run("Off", func(b *testing.B) {
+		benchProf(b)
+		offNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("On", func(b *testing.B) {
+		p := profile.New(profile.Config{
+			Window:    100 * time.Millisecond,
+			Interval:  -1, // back-to-back windows: the profiler never rests
+			Retain:    4,
+			HeapEvery: -1,
+		})
+		p.Start()
+		defer p.Stop()
+		benchProf(b)
+		onNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	if offNs > 0 && onNs > 0 {
+		overhead := (onNs/offNs - 1) * 100
+		b.ReportMetric(overhead, "overhead_%")
+		if overhead > 3.0 {
+			b.Errorf("continuous profiling costs %.2f%% over unprofiled, budget is 3%%", overhead)
 		}
 	}
 }

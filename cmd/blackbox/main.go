@@ -23,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"pochoir/internal/flight"
+	"pochoir/internal/profile"
 	"pochoir/internal/telemetry"
 	"pochoir/internal/wire"
 )
@@ -167,6 +169,19 @@ func runShow(args []string) error {
 		b.Run.NDims, b.Run.Sizes, b.Run.StepsRun, b.Run.Algorithm, b.Run.Supervised)
 	if r := b.Resume; r != nil {
 		fmt.Printf("resume    durable checkpoint at step %d: %s\n", r.Step, r.Path)
+	}
+	if len(b.Profile) > 0 {
+		var rep profile.Report
+		if err := json.Unmarshal(b.Profile, &rep); err == nil {
+			fmt.Printf("profile   %.3fs sampled CPU over %d windows, kernel %.1f%%, walker-overhead %.1f%%\n",
+				rep.CPUSeconds, rep.Windows, 100*rep.KernelShare, 100*rep.WalkerShare)
+			for i, ls := range rep.ByLabel["tenant"] {
+				if i >= 3 || ls.Value == "" {
+					continue
+				}
+				fmt.Printf("          tenant %-20s %.3fs (%.1f%%)\n", ls.Value, ls.CPUSeconds, 100*ls.Share)
+			}
+		}
 	}
 	fmt.Printf("host      %s %s/%s %d cpus pid=%d", b.Host.GoVersion, b.Host.OS, b.Host.Arch,
 		b.Host.NumCPU, b.Host.PID)

@@ -11,7 +11,9 @@
 //	}'
 //
 // then poll /jobs/<id> (add ?wait_ms=5000 to block until it finishes),
-// scrape /metrics, watch /progressz, and stop the daemon with SIGTERM —
+// scrape /metrics, watch /progressz, read the CPU attribution at /profilez
+// (enable with POCHOIR_PROFILE=1 or -profile-window), and stop the daemon
+// with SIGTERM —
 // it stops admitting, finishes or durably spills every accepted job, and
 // prints a drain summary before exiting.
 //
@@ -27,6 +29,7 @@ import (
 
 	"pochoir"
 	"pochoir/internal/gateway"
+	"pochoir/internal/profile"
 )
 
 func main() {
@@ -46,6 +49,8 @@ func main() {
 		traceCap = flag.Int("trace-capacity", 256, "retained traces served at /tracez (FIFO eviction)")
 		traceSmp = flag.Float64("trace-sample", 0.05, "keep probability for fast successful traces (errors, sheds, and the slow tail are always kept)")
 		sloEvery = flag.Duration("slo-interval", 10*time.Second, "SLO burn-rate sampling period")
+		profWin  = flag.Duration("profile-window", 0, "continuous-profiling CPU capture window (0 = POCHOIR_PROFILE env, or off)")
+		noProf   = flag.Bool("no-profile", false, "disable continuous profiling even when POCHOIR_PROFILE or -profile-window enables it (/profilez answers 404)")
 	)
 	flag.Parse()
 
@@ -70,6 +75,13 @@ func main() {
 	}
 	if *conc > 0 {
 		cfg.TenantMaxConcurrent = *conc
+	}
+	if !*noProf {
+		if *profWin > 0 {
+			cfg.Profiler = profile.New(profile.Config{Window: *profWin})
+		} else {
+			cfg.Profiler = profile.FromEnv()
+		}
 	}
 
 	if err := gateway.Daemon(cfg, *addr, *drain, os.Stdout); err != nil {

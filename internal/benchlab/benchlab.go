@@ -1,6 +1,6 @@
 // Package benchlab is the performance observatory: a harness that executes
 // the paper's benchmark suite across the decomposition engines and fuses
-// four observability signals per configuration into one structured record —
+// five observability signals per configuration into one structured record —
 //
 //   - wall clock: a calibrated repetition loop with warm-up, summarized by
 //     the robust median and the median absolute deviation (MAD);
@@ -10,7 +10,11 @@
 //   - work/span analysis: the cilkview analyzer replays the decomposition
 //     analytically and reports work, span, and parallelism;
 //   - cache simulation: the ideal-cache model replays the memory trace of a
-//     scaled-down copy of the workload and reports the miss ratio.
+//     scaled-down copy of the workload and reports the miss ratio;
+//   - CPU attribution: one more repetition runs inside a continuous-profiling
+//     capture window, and the decoded profile reports the kernel share and
+//     the walker's decomposition overhead — the hot-path shares the
+//     regression sentinel (internal/profile) diffs against the baseline.
 //
 // Reports are schema-versioned JSON with host/commit provenance, so runs
 // recorded on different days or machines are comparable, and the diff gate
@@ -94,6 +98,18 @@ type CacheSignal struct {
 	TracedSteps int   `json:"traced_steps"`
 }
 
+// ProfileSignal is the CPU-attribution signal: one repetition runs inside a
+// continuous-profiling capture window and the decoded samples report where
+// the CPU went. KernelShare/WalkerShare are the hot-path fractions the
+// regression sentinel watches; PhaseShares carries the full phase split.
+type ProfileSignal struct {
+	CPUSeconds  float64            `json:"cpu_seconds"`
+	Samples     int64              `json:"samples"`
+	KernelShare float64            `json:"kernel_share"`
+	WalkerShare float64            `json:"walker_share"`
+	PhaseShares map[string]float64 `json:"phase_shares,omitempty"`
+}
+
 // Run is the fused record of one benchmark x engine configuration.
 type Run struct {
 	Benchmark string `json:"benchmark"`
@@ -110,6 +126,7 @@ type Run struct {
 	Telemetry *telemetry.Summary    `json:"telemetry,omitempty"`
 	Cilkview  *cilkview.MetricsView `json:"cilkview,omitempty"`
 	CacheSim  *CacheSignal          `json:"cachesim,omitempty"`
+	Profile   *ProfileSignal        `json:"profile,omitempty"`
 }
 
 // Key returns the identity a baseline comparison matches runs on.
@@ -263,6 +280,9 @@ func collectOne(cfg *Config, f stencils.Factory, w benchdef.Workload, alg core.A
 			return Run{}, err
 		}
 		run.Telemetry = sum
+		// The attribution repetition is also separate from the timing loop:
+		// the profiler's sampling interrupt must never pollute the medians.
+		run.Profile = profileSignal(f, w, alg)
 	}
 	if f.Shape != nil {
 		cv := cilkviewSignal(f, w, alg)

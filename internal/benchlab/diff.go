@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
+
+	"pochoir/internal/profile"
 )
 
 // Gate is the noise-aware regression criterion. A configuration is flagged
@@ -58,6 +61,12 @@ type Delta struct {
 	// Missing marks a configuration present in only one report: "old"
 	// (dropped from the new run) or "new" (added since the baseline).
 	Missing string `json:"missing,omitempty"`
+	// ProfileWarnings are warn-only hot-path shifts from the continuous-
+	// profiling sentinel — kernel share falling or walker overhead rising
+	// beyond sampling noise. They never flip Regression (wall clock owns
+	// the gate); they explain it, or flag erosion the medians hide. Empty
+	// when either report lacks the profile signal (e.g. an older baseline).
+	ProfileWarnings []string `json:"profile_warnings,omitempty"`
 }
 
 // Compare matches the two reports' runs by benchmark/engine and applies the
@@ -106,6 +115,7 @@ func Compare(old, new *Report, g Gate) []Delta {
 			}
 			d.Regression = g.exceeds(d.OldMedian, d.NewMedian-d.OldMedian, d.OldMAD, d.NewMAD)
 			d.Improvement = g.exceeds(d.NewMedian, d.OldMedian-d.NewMedian, d.OldMAD, d.NewMAD)
+			d.ProfileWarnings = profileWarnings(o.Profile, n.Profile)
 			out = append(out, d)
 		}
 	}
@@ -127,6 +137,29 @@ func rank(d Delta) int {
 	default:
 		return 3
 	}
+}
+
+// profileWarnings runs the hot-path sentinel over the two profile signals,
+// nil-safe on both sides (baselines recorded before the signal existed
+// simply produce no warnings).
+func profileWarnings(old, new *ProfileSignal) []string {
+	if old == nil || new == nil {
+		return nil
+	}
+	toReport := func(s *ProfileSignal) *profile.Report {
+		return &profile.Report{
+			CPUSeconds:  s.CPUSeconds,
+			Samples:     s.Samples,
+			KernelShare: s.KernelShare,
+			WalkerShare: s.WalkerShare,
+			PhaseShares: s.PhaseShares,
+		}
+	}
+	var out []string
+	for _, f := range (profile.Sentinel{}).Compare(toReport(old), toReport(new)) {
+		out = append(out, f.Message)
+	}
+	return out
 }
 
 // Regressions filters the comparison down to gated regressions.
@@ -172,6 +205,9 @@ func WriteText(w io.Writer, deltas []Delta) {
 		fmt.Fprintf(w, "%-12s %-6s %12s %12s %+7.1f%% %10s  %s\n",
 			d.Benchmark, d.Engine, ms(d.OldMedian), ms(d.NewMedian), 100*d.Rel,
 			"±"+ms(mad), d.verdict())
+		for _, warn := range d.ProfileWarnings {
+			fmt.Fprintf(w, "%-12s %-6s   profile warning: %s\n", "", "", warn)
+		}
 	}
 }
 
@@ -193,6 +229,9 @@ func WriteMarkdown(w io.Writer, deltas []Delta) {
 		verdict := d.verdict()
 		if d.Regression {
 			verdict = "**" + verdict + "**"
+		}
+		if len(d.ProfileWarnings) > 0 {
+			verdict += " ⚠ " + strings.Join(d.ProfileWarnings, "; ")
 		}
 		fmt.Fprintf(w, "| %s | %s | %s | %s | %+.1f%% | ±%s | %s |\n",
 			d.Benchmark, d.Engine, ms(d.OldMedian), ms(d.NewMedian), 100*d.Rel, ms(mad), verdict)

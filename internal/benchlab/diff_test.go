@@ -140,3 +140,53 @@ func TestDiffRendering(t *testing.T) {
 		t.Fatalf("markdown report malformed:\n%s", md.String())
 	}
 }
+
+// TestProfileWarnings: the hot-path sentinel's warn-only verdicts ride the
+// diff — a kernel-share collapse beyond noise annotates the delta without
+// flipping the wall-clock verdict, and a baseline recorded before the
+// profile signal existed stays silent.
+func TestProfileWarnings(t *testing.T) {
+	withProfile := func(rep *Report, sig *ProfileSignal) *Report {
+		for i := range rep.Runs {
+			rep.Runs[i].Profile = sig
+		}
+		return rep
+	}
+	old := withProfile(report(map[string][2]float64{"Heat 2/TRAP": {0.100, 0.001}}),
+		&ProfileSignal{CPUSeconds: 0.3, Samples: 30, KernelShare: 0.85, WalkerShare: 0.05})
+	cur := withProfile(report(map[string][2]float64{"Heat 2/TRAP": {0.102, 0.001}}),
+		&ProfileSignal{CPUSeconds: 0.3, Samples: 30, KernelShare: 0.60, WalkerShare: 0.30})
+
+	deltas := Compare(old, cur, DefaultGate())
+	if len(deltas) != 1 {
+		t.Fatalf("want 1 delta, got %+v", deltas)
+	}
+	d := deltas[0]
+	if d.Regression {
+		t.Fatalf("profile warnings must not flip the wall-clock verdict: %+v", d)
+	}
+	if len(d.ProfileWarnings) != 2 {
+		t.Fatalf("want kernel+walker warnings, got %v", d.ProfileWarnings)
+	}
+	joined := strings.Join(d.ProfileWarnings, "; ")
+	if !strings.Contains(joined, "kernel share fell") || !strings.Contains(joined, "walker overhead rose") {
+		t.Fatalf("unexpected warning text: %v", d.ProfileWarnings)
+	}
+
+	var text, md strings.Builder
+	WriteText(&text, deltas)
+	WriteMarkdown(&md, deltas)
+	if !strings.Contains(text.String(), "profile warning: kernel share fell") {
+		t.Fatalf("text report missing profile warning:\n%s", text.String())
+	}
+	if !strings.Contains(md.String(), "⚠") {
+		t.Fatalf("markdown report missing profile warning marker:\n%s", md.String())
+	}
+
+	// A pre-signal baseline (nil profile) produces no warnings.
+	bare := Compare(
+		report(map[string][2]float64{"Heat 2/TRAP": {0.100, 0.001}}), cur, DefaultGate())
+	if len(bare) != 1 || bare[0].ProfileWarnings != nil {
+		t.Fatalf("nil-profile baseline should stay silent: %+v", bare)
+	}
+}

@@ -17,11 +17,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync/atomic"
 
 	"pochoir/internal/faultpoint"
 	"pochoir/internal/flight"
 	"pochoir/internal/metrics"
+	"pochoir/internal/profile"
 	"pochoir/internal/sched"
 	"pochoir/internal/telemetry"
 	"pochoir/internal/zoid"
@@ -184,6 +186,14 @@ type Walker struct {
 	// per zoid, amortized over the zoid's whole point set — the walker
 	// never checks inside a base case.
 	cancelled *atomic.Bool
+
+	// labelCtx carries the run's pprof goroutine labels (phase=walk plus
+	// whatever the caller attached: tenant, job, priority, engine). The
+	// base case re-labels CPU samples phase=base/boundary against it, but
+	// only while a continuous-profiling capture window is armed — when
+	// disarmed the per-base-case cost is one atomic load and a pointer
+	// comparison. Written once at run start, read-only during the run.
+	labelCtx context.Context
 }
 
 // DefaultGrain is the spawn threshold used when Walker.Grain is zero.
@@ -315,6 +325,19 @@ func (w *Walker) RunContext(ctx context.Context, t0, t1 int) (err error) {
 		if r := recover(); r != nil {
 			err = panicToError(r)
 		}
+	}()
+
+	// Label the run goroutine phase=walk, merged with whatever labels the
+	// caller's context carries (the gateway's tenant/job/priority, the
+	// supervisor's engine). Spawned worker goroutines inherit the label
+	// set, so every CPU sample of the run self-attributes; the base case
+	// overrides phase sample-by-sample while a capture window is armed.
+	lctx := pprof.WithLabels(ctx, profile.LabelsWalk)
+	pprof.SetGoroutineLabels(lctx)
+	w.labelCtx = lctx
+	defer func() {
+		w.labelCtx = nil
+		pprof.SetGoroutineLabels(ctx)
 	}()
 
 	if w.Rec == nil {
@@ -705,6 +728,28 @@ func (w *Walker) base(z zoid.Zoid, sh *telemetry.Shard, depth int) {
 	if p := w.Prog; p != nil {
 		p.Add(z.Volume())
 	}
+	// While a continuous-profiling capture window is armed, re-label the
+	// kernel invocation phase=base/boundary so CPU samples attribute to
+	// the kernels themselves rather than the surrounding walk. Disarmed —
+	// the overwhelmingly common case — this is one atomic load.
+	if profile.Armed() {
+		if lc := w.labelCtx; lc != nil {
+			ls := profile.LabelsBoundary
+			if interior {
+				ls = profile.LabelsBase
+			}
+			pprof.Do(lc, ls, func(context.Context) {
+				w.invokeKernel(z, sh, interior)
+			})
+			return
+		}
+	}
+	w.invokeKernel(z, sh, interior)
+}
+
+// invokeKernel runs the selected clone, bracketed by the telemetry span
+// when a shard is attached.
+func (w *Walker) invokeKernel(z zoid.Zoid, sh *telemetry.Shard, interior bool) {
 	if sh != nil {
 		span := sh.Base(z.Volume(), interior, z.Height())
 		if interior {

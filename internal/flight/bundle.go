@@ -134,6 +134,12 @@ type Bundle struct {
 	// for a fresh process.
 	Resume *ResumeHint `json:"resume,omitempty"`
 
+	// Profile embeds the continuous profiler's aggregated CPU attribution
+	// for the incident window (profile.Report JSON, schema
+	// pochoir-profile/v1), when a profiler was running — the "where was
+	// the CPU when it died" section.
+	Profile json.RawMessage `json:"profile,omitempty"`
+
 	// TraceID names the causal trace of the failing run, and Trace embeds
 	// its live snapshot (trace.Export JSON, schema pochoir-trace/v1) when
 	// tracing was armed — the incident's span tree down to the failing

@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"sync"
@@ -50,6 +51,7 @@ import (
 	"pochoir/internal/compiler"
 	"pochoir/internal/flight"
 	"pochoir/internal/metrics"
+	"pochoir/internal/profile"
 	"pochoir/internal/trace"
 )
 
@@ -109,6 +111,14 @@ type Config struct {
 	// zero value uses the SRE-workbook defaults; its Flight field defaults
 	// to the gateway's recorder so breaches land in post-mortem bundles.
 	SLO metrics.SLOConfig
+	// Profiler, when non-nil, is the continuous profiler the gateway owns
+	// for its lifetime: started by New, stopped by Drain/Close. Each
+	// capture window's per-tenant CPU attribution accumulates into the
+	// pochoir_tenant_cpu_seconds_total gauge family, and the HTTP layer
+	// serves the capture ring at /profilez. Nil disables profiling (and
+	// /profilez answers 404), matching the flight recorder's off-by-default
+	// discipline.
+	Profiler *profile.Profiler
 
 	// now overrides the clock (tests).
 	now func() time.Time
@@ -332,6 +342,23 @@ func New(cfg Config) *Gateway {
 		func() int64 { return okC.Value() },
 		func() int64 { return okC.Value() + errC.Value() + dlC.Value() }))
 	g.slo.Start()
+	if cfg.Profiler != nil {
+		// Export each window's per-tenant attribution, point the profiler's
+		// self-metrics at the shared registry, publish it process-wide so
+		// post-mortem bundles can embed the incident window, then begin
+		// capturing.
+		cfg.Profiler.SetOnReport(g.onProfileReport)
+		pm := metrics.NewProfilerMetrics(cfg.Metrics)
+		cfg.Profiler.SetInstruments(&profile.Instruments{
+			Captures:      pm.Captures,
+			HeapCaptures:  pm.HeapCaptures,
+			Evictions:     pm.Evictions,
+			DecodeErrors:  pm.DecodeErrors,
+			CaptureErrors: pm.CaptureErrors,
+		})
+		profile.SetGlobal(cfg.Profiler)
+		cfg.Profiler.Start()
+	}
 	g.baseCtx, g.cancel = context.WithCancel(context.Background())
 	g.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -345,6 +372,22 @@ func (g *Gateway) SLO() *metrics.SLOEngine { return g.slo }
 
 // Tracer returns the causal tracer, or nil when tracing is disabled.
 func (g *Gateway) Tracer() *trace.Tracer { return g.cfg.Trace }
+
+// Profiler returns the continuous profiler, or nil when profiling is
+// disabled.
+func (g *Gateway) Profiler() *profile.Profiler { return g.cfg.Profiler }
+
+// onProfileReport folds one capture window's per-tenant CPU attribution
+// into the cumulative pochoir_tenant_cpu_seconds_total gauges. Runs on the
+// profiler's capture goroutine, one report at a time.
+func (g *Gateway) onProfileReport(rep *profile.Report) {
+	for _, ls := range rep.ByLabel["tenant"] {
+		if ls.Value == "" || ls.CPUSeconds <= 0 {
+			continue
+		}
+		g.met.tenantCPU(ls.Value).Add(ls.CPUSeconds)
+	}
+}
 
 // Registry returns the shared metrics registry (for mounting a monitor).
 func (g *Gateway) Registry() *metrics.Registry { return g.cfg.Metrics }
@@ -813,7 +856,19 @@ func (g *Gateway) runJob(j *job) {
 		if g.cfg.SpillDir != "" {
 			policy.SpillDir = g.cfg.SpillDir + "/" + j.id
 		}
-		rep, err = j.inst.Stencil.RunSupervised(ctx, j.steps, j.inst.Kernel(), policy)
+		// The whole supervised run carries the job's identity as pprof
+		// labels. The supervisor layers engine=..., the walker layers
+		// phase=..., and sched workers inherit the merged set, so every
+		// CPU sample below attributes to tenant/job/priority whether the
+		// capture comes from our own profiler or an external
+		// /debug/pprof/profile scrape.
+		pprof.Do(ctx, pprof.Labels(
+			"tenant", j.tenant,
+			"job", j.id,
+			"priority", j.Priority.String(),
+		), func(rc context.Context) {
+			rep, err = j.inst.Stencil.RunSupervised(rc, j.steps, j.inst.Kernel(), policy)
+		})
 		cancel()
 	}
 
@@ -922,6 +977,9 @@ func (g *Gateway) Drain(ctx context.Context) DrainSummary {
 	}
 	g.mu.Unlock()
 	g.slo.Close()
+	if g.cfg.Profiler != nil {
+		g.cfg.Profiler.Stop()
+	}
 	g.cfg.Flight.Record(flight.EvJob, flight.JobDrainEnd, 0, int64(sum.Completed))
 	return sum
 }
@@ -937,6 +995,9 @@ func (g *Gateway) Close() {
 	g.queue.close()
 	g.workers.Wait()
 	g.slo.Close()
+	if g.cfg.Profiler != nil {
+		g.cfg.Profiler.Stop()
+	}
 }
 
 // MaxRunning returns the high-water mark of concurrently executing jobs;

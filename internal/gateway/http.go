@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"pochoir/internal/metrics"
+	"pochoir/internal/profile"
 	"pochoir/internal/trace"
 )
 
@@ -121,10 +122,14 @@ func NewHandler(g *Gateway) http.Handler {
 	})
 
 	// Everything else — /metrics, /progressz, /slo, /tracez (when tracing
-	// is on), /debug/pprof/... — is the registry's monitor surface.
+	// is on), /profilez (when profiling is on), /debug/pprof/... — is the
+	// registry's monitor surface.
 	monOpts := []metrics.HandlerOption{metrics.WithSLO(g.SLO())}
 	if tr := g.Tracer(); tr != nil {
 		monOpts = append(monOpts, metrics.WithTracez(trace.Handler(tr)))
+	}
+	if p := g.Profiler(); p != nil {
+		monOpts = append(monOpts, metrics.WithProfilez(profile.NewHandler(p)))
 	}
 	mux.Handle("/", metrics.NewHandler(g.Registry(), monOpts...))
 	return mux

@@ -54,6 +54,15 @@ func (m *gwMetrics) queueWait(priority string) *metrics.Histogram {
 		metrics.Label{Key: "priority", Value: priority})
 }
 
+// tenantCPU returns the per-tenant attributed-CPU gauge the profiler's
+// report callback accumulates into. A gauge rather than a counter because
+// attributed CPU is fractional seconds; it only ever increases.
+func (m *gwMetrics) tenantCPU(tenant string) *metrics.Gauge {
+	return m.reg.Gauge("pochoir_tenant_cpu_seconds_total",
+		"Cumulative CPU seconds attributed to each tenant by the continuous profiler.",
+		metrics.Label{Key: "tenant", Value: tenant})
+}
+
 // completed returns the per-outcome completion counter.
 func (m *gwMetrics) completed(outcome string) *metrics.Counter {
 	return m.reg.Counter("pochoir_gateway_jobs_completed_total",

@@ -233,6 +233,51 @@ func TestPrometheusGoldenSupervisorSpill(t *testing.T) {
 	}
 }
 
+// TestPrometheusGoldenProfiler pins the continuous profiler's exposition:
+// the self-metrics (capture counts by kind, ring evictions, decode and
+// capture errors — both kinds pre-registered so a scrape sees heap at 0
+// before the first snapshot) and the per-tenant CPU attribution gauge,
+// exactly as named in README and EXPERIMENTS.md. CPU seconds are
+// fractional, so the family is a gauge that only ever accumulates.
+func TestPrometheusGoldenProfiler(t *testing.T) {
+	r := NewRegistry()
+	pm := NewProfilerMetrics(r)
+	pm.Captures.Add(6)
+	pm.Evictions.Add(2)
+	pm.DecodeErrors.Add(1)
+	r.Gauge("pochoir_tenant_cpu_seconds_total",
+		"Cumulative CPU seconds attributed to each tenant by the continuous profiler.",
+		Label{"tenant", "acme"}).Add(1.5)
+	r.Gauge("pochoir_tenant_cpu_seconds_total",
+		"Cumulative CPU seconds attributed to each tenant by the continuous profiler.",
+		Label{"tenant", "batch"}).Add(0.25)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, line := range []string{
+		`pochoir_profile_captures_total{kind="cpu"} 6` + "\n",
+		`pochoir_profile_captures_total{kind="heap"} 0` + "\n",
+		"pochoir_profile_ring_evictions_total 2\n",
+		"pochoir_profile_decode_errors_total 1\n",
+		"pochoir_profile_capture_errors_total 0\n",
+		`pochoir_tenant_cpu_seconds_total{tenant="acme"} 1.5` + "\n",
+		`pochoir_tenant_cpu_seconds_total{tenant="batch"} 0.25` + "\n",
+	} {
+		if !strings.Contains(got, line) {
+			t.Fatalf("exposition missing %q:\n%s", line, got)
+		}
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("profiler exposition fails the validator: %v", err)
+	}
+	if NewProfilerMetrics(r).Captures.Value() != 6 {
+		t.Fatal("re-resolved profiler set lost the counts")
+	}
+}
+
 func TestCheckExposition(t *testing.T) {
 	valid := []byte(strings.Join([]string{
 		"# HELP x_total stuff",

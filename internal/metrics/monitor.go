@@ -17,8 +17,9 @@ import (
 type HandlerOption func(*handlerOptions)
 
 type handlerOptions struct {
-	tracez http.Handler
-	slo    *SLOEngine
+	tracez   http.Handler
+	slo      *SLOEngine
+	profilez http.Handler
 }
 
 // WithTracez mounts a trace viewer (trace.Handler) at /tracez and
@@ -33,12 +34,20 @@ func WithSLO(e *SLOEngine) HandlerOption {
 	return func(o *handlerOptions) { o.slo = e }
 }
 
+// WithProfilez mounts the continuous profiler's attribution views
+// (profile.NewHandler) at /profilez and /profilez.json. Without it, those
+// paths 404 — the monitor never pretends to attribution it cannot have.
+func WithProfilez(h http.Handler) HandlerOption {
+	return func(o *handlerOptions) { o.profilez = h }
+}
+
 // NewHandler builds the monitor's HTTP mux for a registry:
 //
 //	/metrics        Prometheus text exposition (WritePrometheus)
 //	/statusz        JSON snapshot of every metric + process vitals
 //	/progressz      JSON progress of in-flight and recent runs
 //	/slo            SLO burn-rate status (with WithSLO)
+//	/profilez       continuous-profiling CPU attribution (with WithProfilez)
 //	/tracez         retained traces: lists, waterfalls, JSON (with WithTracez)
 //	/debug/flightz  JSON post-mortem bundle of the last incident
 //	/debug/pprof/*  the standard runtime profiles
@@ -62,6 +71,10 @@ func NewHandler(r *Registry, opts ...HandlerOption) http.Handler {
 			w.Header().Set("Content-Type", "application/json; charset=utf-8")
 			_ = o.slo.WriteSLO(w)
 		})
+	}
+	if o.profilez != nil {
+		mux.Handle("/profilez", o.profilez)
+		mux.Handle("/profilez.json", o.profilez)
 	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -111,6 +124,9 @@ func NewHandler(r *Registry, opts ...HandlerOption) http.Handler {
 		fmt.Fprintln(w, "/progressz      JSON run progress + ETA")
 		if o.slo != nil {
 			fmt.Fprintln(w, "/slo            SLO burn-rate status")
+		}
+		if o.profilez != nil {
+			fmt.Fprintln(w, "/profilez       where the CPU goes (tenant/engine/phase attribution)")
 		}
 		if o.tracez != nil {
 			fmt.Fprintln(w, "/tracez         retained traces (waterfalls, JSON)")

@@ -137,3 +137,28 @@ func NewSupervisorMetrics(r *Registry) *SupervisorMetrics {
 		ResumeCorrupt:  r.Counter("pochoir_resume_corrupt_entries_total", "Corrupt or torn journal entries skipped while resuming."),
 	}
 }
+
+// ProfilerMetrics is the continuous profiler's self-instrument set:
+// capture windows completed by kind, ring evictions under retention
+// pressure, and decode/capture failures. The capture loop holds these via
+// the profile package's narrow Counter interface, keeping that package
+// dependency-free.
+type ProfilerMetrics struct {
+	Captures      *Counter
+	HeapCaptures  *Counter
+	Evictions     *Counter
+	DecodeErrors  *Counter
+	CaptureErrors *Counter
+}
+
+// NewProfilerMetrics resolves the profiler instrument set against r.
+// Idempotent, like the other sets.
+func NewProfilerMetrics(r *Registry) *ProfilerMetrics {
+	return &ProfilerMetrics{
+		Captures:      r.Counter("pochoir_profile_captures_total", "Completed profile capture windows by kind.", Label{"kind", "cpu"}),
+		HeapCaptures:  r.Counter("pochoir_profile_captures_total", "Completed profile capture windows by kind.", Label{"kind", "heap"}),
+		Evictions:     r.Counter("pochoir_profile_ring_evictions_total", "Captures evicted from the in-memory ring under retention pressure."),
+		DecodeErrors:  r.Counter("pochoir_profile_decode_errors_total", "Captured profiles the pprof decoder rejected."),
+		CaptureErrors: r.Counter("pochoir_profile_capture_errors_total", "Capture windows that could not start (CPU profiler busy)."),
+	}
+}

@@ -1,0 +1,83 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// FuzzProfileDecode feeds arbitrary bytes to the pprof decoder. The
+// contract matches FuzzWireDecode's: any input either decodes to an
+// internally consistent profile or returns an error — never a panic, and
+// never an allocation proportional to a hostile declared size rather than
+// the input itself (protobuf lengths are validated against the bytes
+// actually present, and gzip output is capped). Seeds include a real
+// captured runtime CPU profile so the fuzzer starts past the gzip and
+// protobuf framing.
+func FuzzProfileDecode(f *testing.F) {
+	// A real capture, labels and all.
+	captureMu.Lock()
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err == nil {
+		pprof.Do(context.Background(), pprof.Labels("tenant", "fuzz", "phase", "base"), func(context.Context) {
+			burn(50 * time.Millisecond)
+		})
+		pprof.StopCPUProfile()
+		f.Add(buf.Bytes())
+	}
+	captureMu.Unlock()
+
+	// A tiny hand-built valid profile, uncompressed and gzipped:
+	// one sample type (cpu/nanoseconds), one function, one location,
+	// one sample with a label.
+	tiny := []byte{
+		// string_table: "", "cpu", "nanoseconds", "fn", "k", "v"
+		0x32, 0x00,
+		0x32, 0x03, 'c', 'p', 'u',
+		0x32, 0x0b, 'n', 'a', 'n', 'o', 's', 'e', 'c', 'o', 'n', 'd', 's',
+		0x32, 0x02, 'f', 'n',
+		0x32, 0x01, 'k',
+		0x32, 0x01, 'v',
+		// sample_type{type:1 unit:2}
+		0x0a, 0x04, 0x08, 0x01, 0x10, 0x02,
+		// function{id:1 name:3}
+		0x2a, 0x04, 0x08, 0x01, 0x10, 0x03,
+		// location{id:1 line{function_id:1}}
+		0x22, 0x06, 0x08, 0x01, 0x22, 0x02, 0x08, 0x01,
+		// sample{location_id:[1] value:[1000000] label{key:4 str:5}}
+		0x12, 0x0e, 0x0a, 0x01, 0x01, 0x12, 0x03, 0xc0, 0x84, 0x3d, 0x1a, 0x04, 0x08, 0x04, 0x10, 0x05,
+	}
+	f.Add(tiny)
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Write(tiny)
+	zw.Close()
+	f.Add(gz.Bytes())
+	f.Add([]byte{0x1f, 0x8b})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := decodeProfile(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must be internally consistent: every
+		// sample's locations resolve (the decoder promises this) and
+		// analysis over it must not panic either.
+		for _, s := range p.samples {
+			for _, loc := range s.locs {
+				if _, ok := p.locFuncs[loc]; !ok {
+					t.Fatalf("decoded sample references unresolved location %d", loc)
+				}
+			}
+		}
+		if _, err := Analyze(data, 10); err != nil {
+			// Analyze may legitimately reject (e.g. no sample types);
+			// it must only never panic.
+			return
+		}
+	})
+}

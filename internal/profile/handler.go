@@ -1,0 +1,77 @@
+package profile
+
+// The /profilez endpoints: an ASCII top-N + per-label view for humans and
+// a pochoir-profile/v1 JSON document for machines. Both serve the
+// aggregate of the capture ring by default (more samples, steadier
+// shares); ?window=last narrows to the newest capture, and ?kind=heap
+// downloads the newest raw heap snapshot. Serving is a ring copy under
+// the profiler's mutex, so scraping while a capture lands is race-free.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// handlerReport is the /profilez.json document.
+type handlerReport struct {
+	Schema string `json:"schema"`
+	// Captures counts ring entries by kind at serve time.
+	Captures map[string]int `json:"captures"`
+	// Report is the aggregated (or, with ?window=last, the newest)
+	// attribution; null until the first window completes.
+	Report *Report `json:"report"`
+}
+
+// NewHandler serves the profiler's state. It handles both /profilez and
+// /profilez.json, dispatching on the path suffix.
+func NewHandler(p *Profiler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if p == nil {
+			http.Error(w, "continuous profiler disabled", http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("kind") == "heap" {
+			c := p.Latest("heap")
+			if c == nil {
+				http.Error(w, "no heap snapshot captured yet", http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition", `attachment; filename="heap.pb.gz"`)
+			w.Write(c.Raw)
+			return
+		}
+		var rep *Report
+		if r.URL.Query().Get("window") == "last" {
+			if c := p.Latest("cpu"); c != nil {
+				rep = c.Report
+			}
+		} else {
+			rep = p.Aggregate()
+		}
+		counts := map[string]int{}
+		for _, c := range p.Snapshot() {
+			counts[c.Kind]++
+		}
+		if r.URL.Path == "/profilez.json" || r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(handlerReport{Schema: Schema, Captures: counts, Report: rep})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if rep == nil {
+			fmt.Fprintf(w, "%s\nno CPU capture completed yet (captures: %v)\n", Schema, counts)
+			return
+		}
+		if n, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && n > 0 && n < len(rep.Top) {
+			trimmed := *rep
+			trimmed.Top = rep.Top[:n]
+			rep = &trimmed
+		}
+		rep.WriteText(w)
+	})
+}

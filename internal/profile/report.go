@@ -1,0 +1,354 @@
+package profile
+
+// Analysis: aggregate a decoded pprof profile into the schema-versioned
+// pochoir-profile/v1 report — CPU seconds by function (flat and
+// cumulative), by goroutine label (tenant, job, priority, engine, phase),
+// and the hot-path shares the regression sentinel watches: the fraction of
+// CPU spent inside labeled base-case kernels versus the walker's own
+// decomposition machinery.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Schema identifies the report wire format.
+const Schema = "pochoir-profile/v1"
+
+// AttributionKeys are the label keys the analyzer breaks CPU down by.
+// They match the labels applied by the gateway (tenant, job, priority),
+// the supervisor (engine, phase=walk|checkpoint|verify), and the walker's
+// armed base-case labels (phase=base|boundary).
+var AttributionKeys = []string{"tenant", "job", "priority", "engine", "phase"}
+
+// walkerFramePrefix classifies a stack frame as walker machinery: the
+// trapezoidal decomposition itself, as opposed to the user kernel it
+// drives.
+const walkerFramePrefix = "pochoir/internal/core."
+
+// Report is one analyzed capture window (or an aggregate of several).
+type Report struct {
+	Schema     string    `json:"schema"`
+	CapturedAt time.Time `json:"captured_at"`
+	// Windows is the number of capture windows merged into this report
+	// (1 for a single window).
+	Windows    int   `json:"windows"`
+	DurationNS int64 `json:"duration_ns"`
+	PeriodNS   int64 `json:"period_ns,omitempty"`
+	Samples    int64 `json:"samples"`
+	// CPUSeconds is the total sampled CPU time in the window(s).
+	CPUSeconds float64 `json:"cpu_seconds"`
+	// Top holds per-function CPU, sorted by flat time descending.
+	Top []FuncStat `json:"top,omitempty"`
+	// ByLabel maps each attribution key to its per-value CPU breakdown,
+	// sorted by CPU descending. Samples carrying no value for a key are
+	// accounted under the empty value "".
+	ByLabel map[string][]LabelStat `json:"by_label,omitempty"`
+	// PhaseShares is ByLabel["phase"] re-expressed as shares of total
+	// CPU, the sentinel's primary signal.
+	PhaseShares map[string]float64 `json:"phase_shares,omitempty"`
+	// KernelShare is the fraction of CPU inside labeled base-case
+	// kernels (phase=base plus phase=boundary).
+	KernelShare float64 `json:"kernel_share"`
+	// WalkerShare is the fraction of CPU in walker decomposition frames
+	// outside the kernels — the overhead the paper argues stays small.
+	WalkerShare float64 `json:"walker_share"`
+}
+
+// FuncStat is one function's CPU attribution.
+type FuncStat struct {
+	Name        string  `json:"name"`
+	FlatSeconds float64 `json:"flat_seconds"`
+	CumSeconds  float64 `json:"cum_seconds"`
+	// Share is FlatSeconds over the report's total CPUSeconds.
+	Share float64 `json:"share"`
+}
+
+// LabelStat is one label value's CPU attribution.
+type LabelStat struct {
+	Value      string  `json:"value"`
+	CPUSeconds float64 `json:"cpu_seconds"`
+	Share      float64 `json:"share"`
+}
+
+// Analyze decodes a pprof CPU profile and aggregates it into a Report.
+// topN bounds the function table; topN <= 0 keeps the default of 20.
+func Analyze(raw []byte, topN int) (*Report, error) {
+	if topN <= 0 {
+		topN = 20
+	}
+	p, err := decodeProfile(raw)
+	if err != nil {
+		return nil, err
+	}
+	// Pick the value column measured in nanoseconds (cpu/nanoseconds for
+	// CPU profiles). Fall back to the last column, which is the default
+	// sample type for every runtime profile.
+	valueIdx := len(p.sampleTypes) - 1
+	for i, vt := range p.sampleTypes {
+		if vt.unit == "nanoseconds" {
+			valueIdx = i
+			break
+		}
+	}
+	if valueIdx < 0 {
+		return nil, fmt.Errorf("profile: no sample types")
+	}
+
+	r := &Report{
+		Schema:     Schema,
+		Windows:    1,
+		DurationNS: p.durationNS,
+		PeriodNS:   p.periodNS,
+		ByLabel:    make(map[string][]LabelStat, len(AttributionKeys)),
+	}
+	if p.timeNS > 0 {
+		r.CapturedAt = time.Unix(0, p.timeNS).UTC()
+	}
+
+	type funcAgg struct{ flat, cum int64 }
+	funcs := make(map[string]*funcAgg)
+	labels := make(map[string]map[string]int64, len(AttributionKeys))
+	for _, k := range AttributionKeys {
+		labels[k] = make(map[string]int64)
+	}
+	var totalNS, kernelNS, walkerNS int64
+	seen := make(map[string]bool)
+	for _, s := range p.samples {
+		if valueIdx >= len(s.values) {
+			return nil, fmt.Errorf("profile: sample has %d values, want index %d", len(s.values), valueIdx)
+		}
+		ns := s.values[valueIdx]
+		if ns <= 0 {
+			continue
+		}
+		totalNS += ns
+		phase := s.labels["phase"]
+		kernel := phase == "base" || phase == "boundary"
+		if kernel {
+			kernelNS += ns
+		}
+		for _, k := range AttributionKeys {
+			labels[k][s.labels[k]] += ns
+		}
+		// Flat time goes to the leaf function; cumulative time to every
+		// distinct function on the stack. locs[0] is the leaf location
+		// and each location's first line is its deepest inline frame.
+		clear(seen)
+		inWalker := false
+		for li, loc := range s.locs {
+			for fi, fn := range p.locFuncs[loc] {
+				if li == 0 && fi == 0 {
+					agg := funcs[fn]
+					if agg == nil {
+						agg = &funcAgg{}
+						funcs[fn] = agg
+					}
+					agg.flat += ns
+				}
+				if !seen[fn] {
+					seen[fn] = true
+					agg := funcs[fn]
+					if agg == nil {
+						agg = &funcAgg{}
+						funcs[fn] = agg
+					}
+					agg.cum += ns
+					if !inWalker && strings.HasPrefix(fn, walkerFramePrefix) {
+						inWalker = true
+					}
+				}
+			}
+		}
+		if inWalker && !kernel {
+			walkerNS += ns
+		}
+	}
+
+	r.Samples = int64(len(p.samples))
+	r.CPUSeconds = float64(totalNS) / 1e9
+	if totalNS > 0 {
+		r.KernelShare = float64(kernelNS) / float64(totalNS)
+		r.WalkerShare = float64(walkerNS) / float64(totalNS)
+	}
+	for name, agg := range funcs {
+		fs := FuncStat{
+			Name:        name,
+			FlatSeconds: float64(agg.flat) / 1e9,
+			CumSeconds:  float64(agg.cum) / 1e9,
+		}
+		if totalNS > 0 {
+			fs.Share = float64(agg.flat) / float64(totalNS)
+		}
+		r.Top = append(r.Top, fs)
+	}
+	sort.Slice(r.Top, func(i, j int) bool {
+		if r.Top[i].FlatSeconds != r.Top[j].FlatSeconds {
+			return r.Top[i].FlatSeconds > r.Top[j].FlatSeconds
+		}
+		return r.Top[i].Name < r.Top[j].Name
+	})
+	if len(r.Top) > topN {
+		r.Top = r.Top[:topN]
+	}
+	for _, k := range AttributionKeys {
+		for v, ns := range labels[k] {
+			if ns == 0 {
+				continue
+			}
+			ls := LabelStat{Value: v, CPUSeconds: float64(ns) / 1e9}
+			if totalNS > 0 {
+				ls.Share = float64(ns) / float64(totalNS)
+			}
+			r.ByLabel[k] = append(r.ByLabel[k], ls)
+		}
+		sort.Slice(r.ByLabel[k], func(i, j int) bool {
+			if r.ByLabel[k][i].CPUSeconds != r.ByLabel[k][j].CPUSeconds {
+				return r.ByLabel[k][i].CPUSeconds > r.ByLabel[k][j].CPUSeconds
+			}
+			return r.ByLabel[k][i].Value < r.ByLabel[k][j].Value
+		})
+	}
+	r.PhaseShares = make(map[string]float64, len(r.ByLabel["phase"]))
+	for _, ls := range r.ByLabel["phase"] {
+		key := ls.Value
+		if key == "" {
+			key = "unlabeled"
+		}
+		r.PhaseShares[key] = ls.Share
+	}
+	return r, nil
+}
+
+// Merge combines several single-window reports into one aggregate:
+// CPU seconds add, shares are recomputed over the combined total, and the
+// function table is re-ranked. Nil reports are skipped; Merge returns nil
+// when nothing remains.
+func Merge(reports []*Report) *Report {
+	var live []*Report
+	for _, r := range reports {
+		if r != nil {
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	out := &Report{
+		Schema:  Schema,
+		ByLabel: make(map[string][]LabelStat),
+	}
+	type funcAgg struct{ flat, cum float64 }
+	funcs := make(map[string]*funcAgg)
+	labels := make(map[string]map[string]float64)
+	var kernel, walker float64
+	for _, r := range live {
+		out.Windows += r.Windows
+		out.DurationNS += r.DurationNS
+		out.Samples += r.Samples
+		out.CPUSeconds += r.CPUSeconds
+		if r.PeriodNS > out.PeriodNS {
+			out.PeriodNS = r.PeriodNS
+		}
+		if r.CapturedAt.After(out.CapturedAt) {
+			out.CapturedAt = r.CapturedAt
+		}
+		kernel += r.KernelShare * r.CPUSeconds
+		walker += r.WalkerShare * r.CPUSeconds
+		for _, fs := range r.Top {
+			agg := funcs[fs.Name]
+			if agg == nil {
+				agg = &funcAgg{}
+				funcs[fs.Name] = agg
+			}
+			agg.flat += fs.FlatSeconds
+			agg.cum += fs.CumSeconds
+		}
+		for k, stats := range r.ByLabel {
+			if labels[k] == nil {
+				labels[k] = make(map[string]float64)
+			}
+			for _, ls := range stats {
+				labels[k][ls.Value] += ls.CPUSeconds
+			}
+		}
+	}
+	if out.CPUSeconds > 0 {
+		out.KernelShare = kernel / out.CPUSeconds
+		out.WalkerShare = walker / out.CPUSeconds
+	}
+	for name, agg := range funcs {
+		fs := FuncStat{Name: name, FlatSeconds: agg.flat, CumSeconds: agg.cum}
+		if out.CPUSeconds > 0 {
+			fs.Share = agg.flat / out.CPUSeconds
+		}
+		out.Top = append(out.Top, fs)
+	}
+	sort.Slice(out.Top, func(i, j int) bool {
+		if out.Top[i].FlatSeconds != out.Top[j].FlatSeconds {
+			return out.Top[i].FlatSeconds > out.Top[j].FlatSeconds
+		}
+		return out.Top[i].Name < out.Top[j].Name
+	})
+	if len(out.Top) > 20 {
+		out.Top = out.Top[:20]
+	}
+	for k, vals := range labels {
+		for v, sec := range vals {
+			ls := LabelStat{Value: v, CPUSeconds: sec}
+			if out.CPUSeconds > 0 {
+				ls.Share = sec / out.CPUSeconds
+			}
+			out.ByLabel[k] = append(out.ByLabel[k], ls)
+		}
+		sort.Slice(out.ByLabel[k], func(i, j int) bool {
+			if out.ByLabel[k][i].CPUSeconds != out.ByLabel[k][j].CPUSeconds {
+				return out.ByLabel[k][i].CPUSeconds > out.ByLabel[k][j].CPUSeconds
+			}
+			return out.ByLabel[k][i].Value < out.ByLabel[k][j].Value
+		})
+	}
+	out.PhaseShares = make(map[string]float64, len(out.ByLabel["phase"]))
+	for _, ls := range out.ByLabel["phase"] {
+		key := ls.Value
+		if key == "" {
+			key = "unlabeled"
+		}
+		out.PhaseShares[key] = ls.Share
+	}
+	return out
+}
+
+// WriteText renders the report as the /profilez ASCII view: totals, the
+// top-N function table, and the per-label breakdowns.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "%s — where the CPU goes\n", Schema)
+	fmt.Fprintf(w, "windows %d  samples %d  cpu %.3fs  kernel %.1f%%  walker-overhead %.1f%%\n",
+		r.Windows, r.Samples, r.CPUSeconds, 100*r.KernelShare, 100*r.WalkerShare)
+	if !r.CapturedAt.IsZero() {
+		fmt.Fprintf(w, "captured %s\n", r.CapturedAt.Format(time.RFC3339))
+	}
+	if len(r.Top) > 0 {
+		fmt.Fprintf(w, "\n%8s %8s %7s  function\n", "flat(s)", "cum(s)", "share")
+		for _, fs := range r.Top {
+			fmt.Fprintf(w, "%8.3f %8.3f %6.1f%%  %s\n", fs.FlatSeconds, fs.CumSeconds, 100*fs.Share, fs.Name)
+		}
+	}
+	for _, k := range AttributionKeys {
+		stats := r.ByLabel[k]
+		if len(stats) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "\nby %s:\n", k)
+		for _, ls := range stats {
+			v := ls.Value
+			if v == "" {
+				v = "(unlabeled)"
+			}
+			fmt.Fprintf(w, "  %6.1f%% %8.3fs  %s\n", 100*ls.Share, ls.CPUSeconds, v)
+		}
+	}
+}

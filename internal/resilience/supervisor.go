@@ -4,11 +4,30 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 
 	"pochoir/internal/flight"
 	"pochoir/internal/metrics"
+	"pochoir/internal/profile"
 	"pochoir/internal/telemetry"
 )
+
+// engineLabels are the per-engine pprof label sets applied around segment
+// attempts, precomputed so the supervisor loop allocates none. A CPU
+// sample taken mid-attempt then attributes to the engine that executed it
+// — including attempts re-run on a lower rung of the degradation ladder.
+var engineLabels = [...]pprof.LabelSet{
+	EngineFull:  pprof.Labels("engine", "TRAP"),
+	EngineSTRAP: pprof.Labels("engine", "STRAP"),
+	EngineLoops: pprof.Labels("engine", "LOOPS"),
+}
+
+func engineLabelSet(e Engine) pprof.LabelSet {
+	if int(e) >= 0 && int(e) < len(engineLabels) {
+		return engineLabels[e]
+	}
+	return pprof.Labels("engine", e.String())
+}
 
 // Driver is the set of operations the supervisor orchestrates. The stencil
 // layer (pochoir.Stencil.RunSupervised) supplies closures over a concrete
@@ -101,8 +120,14 @@ func Supervise(ctx context.Context, d Driver, p Policy) (*Report, error) {
 			Engine: p.Ladder[rung].String()})
 
 		if !p.NoCheckpoint {
-			if err := d.Checkpoint(); err != nil {
-				return fail(seg, fmt.Errorf("resilience: checkpoint before segment %d: %w", seg.Index, err))
+			// phase=checkpoint covers the snapshot and its durable spill, so
+			// attribution separates checkpoint overhead from kernel time.
+			var cperr error
+			pprof.Do(ctx, profile.LabelsCheckpoint, func(context.Context) {
+				cperr = d.Checkpoint()
+			})
+			if cperr != nil {
+				return fail(seg, fmt.Errorf("resilience: checkpoint before segment %d: %w", seg.Index, cperr))
 			}
 			rep.Checkpoints++
 			if sm != nil {
@@ -112,7 +137,12 @@ func Supervise(ctx context.Context, d Driver, p Policy) (*Report, error) {
 
 			if d.Spill != nil {
 				spillStart := p.Clock.Now()
-				path, bytes, serr := d.Spill(seg.Index, from)
+				var path string
+				var bytes int64
+				var serr error
+				pprof.Do(ctx, profile.LabelsCheckpoint, func(context.Context) {
+					path, bytes, serr = d.Spill(seg.Index, from)
+				})
 				spillNS := p.Clock.Now().Sub(spillStart).Nanoseconds()
 				if serr != nil {
 					// Durability degraded, run intact: record and move on.
@@ -156,13 +186,24 @@ func Supervise(ctx context.Context, d Driver, p Policy) (*Report, error) {
 			if p.SegmentTimeout > 0 {
 				runCtx, cancel = p.Clock.WithTimeout(ctx, p.SegmentTimeout)
 			}
-			err := d.Run(runCtx, eng, from, steps)
+			// The attempt runs under its engine label; the walker adds
+			// phase=walk (and, armed, base/boundary) beneath it, and any
+			// labels on the parent context (tenant/job/priority from the
+			// gateway) ride along.
+			var err error
+			pprof.Do(runCtx, engineLabelSet(eng), func(rc context.Context) {
+				err = d.Run(rc, eng, from, steps)
+			})
 			if cancel != nil {
 				cancel()
 			}
 
 			if err == nil && p.Verify.Enabled && d.Verify != nil && seg.Index%p.Verify.Every == 0 {
-				if verr := d.Verify(ctx, seg.Index, from, steps); verr != nil {
+				var verr error
+				pprof.Do(ctx, profile.LabelsVerify, func(vc context.Context) {
+					verr = d.Verify(vc, seg.Index, from, steps)
+				})
+				if verr != nil {
 					rep.VerifyMismatches++
 					if sm != nil {
 						sm.VerifyMismatch.Inc()
@@ -213,7 +254,11 @@ func Supervise(ctx context.Context, d Driver, p Policy) (*Report, error) {
 				break
 			}
 
-			if rerr := d.Restore(); rerr != nil {
+			var rerr error
+			pprof.Do(ctx, profile.LabelsCheckpoint, func(context.Context) {
+				rerr = d.Restore()
+			})
+			if rerr != nil {
 				segErr = fmt.Errorf("resilience: restore for segment %d retry: %w", seg.Index, rerr)
 				break
 			}

@@ -4,6 +4,14 @@
 // threads give the same near-greedy fork-join semantics, and the engines
 // gate spawning by subproblem volume so goroutine-creation overhead stays a
 // small fraction of the work, as base-case coarsening does for Cilk spawns.
+//
+// Continuous-profiling attribution rides on a runtime guarantee this
+// package relies on and pins with a test (see profile_labels_test.go):
+// goroutines started with the go statement inherit the spawner's pprof
+// label set. Every worker goroutine Do2/DoAll spawns therefore carries the
+// calling goroutine's labels (the gateway's tenant/job/priority, the
+// supervisor's engine, the walker's phase) without the scheduler touching
+// its hot path — CPU samples on spawned workers self-attribute for free.
 package sched
 
 import (

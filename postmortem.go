@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"pochoir/internal/flight"
+	"pochoir/internal/profile"
 	"pochoir/internal/trace"
 )
 
@@ -160,6 +161,15 @@ func (s *Stencil[T]) writePostmortem(err error, rep *RunReport) {
 			b.TraceID = snap.ID.String()
 			if data, jerr := trace.MarshalExport(snap); jerr == nil {
 				b.Trace = data
+			}
+		}
+	}
+	if p := profile.Global(); p != nil {
+		// The process-wide continuous profiler (installed by the gateway)
+		// contributes the incident window's CPU attribution.
+		if agg := p.Aggregate(); agg != nil {
+			if data, jerr := json.Marshal(agg); jerr == nil {
+				b.Profile = data
 			}
 		}
 	}
